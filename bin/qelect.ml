@@ -1,0 +1,349 @@
+(* qelect — command-line front end.
+
+   Subcommands:
+     run      execute a protocol on an instance
+     analyze  class structure, gcd, predictions, Cayley recognition
+     zoo      list the built-in instance suite
+     dot      emit Graphviz for an instance
+
+   Instances are either a zoo name (see `qelect zoo`) or built from
+   --graph SPEC --agents LIST, e.g.
+     qelect run --graph cycle:8 --agents 0,4 --protocol elect *)
+
+module Graph = Qe_graph.Graph
+module Families = Qe_graph.Families
+module Bicolored = Qe_graph.Bicolored
+module World = Qe_runtime.World
+module Engine = Qe_runtime.Engine
+module Color = Qe_color.Color
+module Campaign = Qe_elect.Campaign
+module Oracle = Qe_elect.Oracle
+open Cmdliner
+
+(* ---------- graph spec parsing ---------- *)
+
+let parse_ints s = List.map int_of_string (String.split_on_char ',' s)
+
+let parse_graph spec =
+  match String.split_on_char ':' spec with
+  | [ "petersen" ] -> Families.petersen ()
+  | [ "cycle"; n ] -> Families.cycle (int_of_string n)
+  | [ "path"; n ] -> Families.path (int_of_string n)
+  | [ "complete"; n ] -> Families.complete (int_of_string n)
+  | [ "hypercube"; d ] -> Families.hypercube (int_of_string d)
+  | [ "star"; k ] -> Families.star (int_of_string k)
+  | [ "wheel"; k ] -> Families.wheel (int_of_string k)
+  | [ "tree"; h ] -> Families.binary_tree (int_of_string h)
+  | [ "ccc"; d ] -> Families.cube_connected_cycles (int_of_string d)
+  | [ "torus"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ a; b ] -> Families.torus (int_of_string a) (int_of_string b)
+      | _ -> failwith "torus spec: torus:AxB")
+  | [ "grid"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ a; b ] -> Families.grid (int_of_string a) (int_of_string b)
+      | _ -> failwith "grid spec: grid:AxB")
+  | [ "circulant"; n; jumps ] ->
+      Families.circulant (int_of_string n) (parse_ints jumps)
+  | [ "random"; seed; n; extra ] ->
+      Families.random_connected ~seed:(int_of_string seed)
+        ~n:(int_of_string n) ~extra_edges:(int_of_string extra)
+  | _ ->
+      failwith
+        (spec
+       ^ ": unknown graph spec (try cycle:8, hypercube:3, torus:3x4, \
+          circulant:10:1,3, petersen, star:5, wheel:6, grid:2x3, tree:3, \
+          ccc:3, random:7:12:5)")
+
+let resolve_instance ?file ~instance ~graph ~agents () =
+  match (file, instance, graph) with
+  | Some path, _, _ ->
+      let inst = Qe_graph.Serial.load ~path in
+      let black =
+        match (agents, inst.Qe_graph.Serial.black) with
+        | Some l, _ -> parse_ints l
+        | None, (_ :: _ as b) -> b
+        | None, [] -> failwith (path ^ ": file declares no agents; pass --agents")
+      in
+      (inst.Qe_graph.Serial.graph, black, path)
+  | None, Some name, _ -> (
+      match
+        List.find_opt
+          (fun i -> i.Campaign.name = name)
+          (Campaign.zoo () @ Campaign.cayley_zoo ())
+      with
+      | Some i -> (i.Campaign.graph, i.Campaign.black, i.Campaign.name)
+      | None -> failwith (name ^ ": not in the zoo (see `qelect zoo`)"))
+  | None, None, Some spec ->
+      let g = parse_graph spec in
+      let black =
+        match agents with
+        | Some l -> parse_ints l
+        | None -> failwith "--agents required with --graph"
+      in
+      (g, black, spec)
+  | None, None, None ->
+      failwith "need --instance NAME, --graph SPEC --agents LIST, or --file PATH"
+
+let protocols =
+  [
+    ("elect", Qe_elect.Elect.protocol);
+    ("elect-cayley", Qe_elect.Elect_cayley.protocol);
+    ("quantitative", Qe_elect.Quantitative.protocol);
+    ("petersen-adhoc", Qe_elect.Petersen_adhoc.protocol);
+    ("anonymous", Qe_elect.Anonymous_demo.protocol);
+    ("gathering", Qe_elect.Gathering.protocol);
+    ("mark-race", Qe_elect.Mark_race.protocol);
+  ]
+
+let strategies =
+  [
+    ("random", fun seed -> Engine.Random_fair seed);
+    ("round-robin", fun _ -> Engine.Round_robin);
+    ("lifo", fun _ -> Engine.Lifo);
+    ("fifo-mailbox", fun _ -> Engine.Fifo_mailbox);
+    ("synchronous", fun _ -> Engine.Synchronous);
+  ]
+
+let outcome_str = function
+  | Engine.Elected c -> Printf.sprintf "elected %s" (Color.name c)
+  | Engine.Declared_unsolvable -> "all agents report: unsolvable"
+  | Engine.Deadlock -> "deadlock"
+  | Engine.Step_limit -> "step limit exceeded"
+  | Engine.Inconsistent m -> "inconsistent verdicts: " ^ m
+
+(* ---------- run ---------- *)
+
+let run_cmd file instance graph agents protocol strategy seed verbose trace =
+  try
+    let g, black, name = resolve_instance ?file ~instance ~graph ~agents () in
+    let proto =
+      match List.assoc_opt protocol protocols with
+      | Some p -> p
+      | None ->
+          failwith
+            (protocol
+            ^ ": unknown protocol (elect, elect-cayley, quantitative, \
+               petersen-adhoc, anonymous, gathering, mark-race)")
+    in
+    let strat =
+      match List.assoc_opt strategy strategies with
+      | Some f -> f seed
+      | None -> failwith (strategy ^ ": unknown strategy")
+    in
+    let world = World.make g ~black in
+    let events = ref 0 in
+    let on_event e =
+      if trace then begin
+        incr events;
+        if !events <= 500 then
+          Format.printf "  [%4d] %a@." !events Engine.pp_event e
+        else if !events = 501 then
+          print_endline "  [trace truncated after 500 events]"
+      end
+    in
+    let r = Engine.run ~strategy:strat ~seed ~on_event world proto in
+    Printf.printf "%s on %s (n=%d, m=%d, r=%d, %s scheduler, seed %d)\n"
+      protocol name (Graph.n g) (Graph.m g) (List.length black) strategy seed;
+    Printf.printf "outcome: %s\n" (outcome_str r.Engine.outcome);
+    Printf.printf "moves: %d, whiteboard accesses: %d, scheduler turns: %d\n"
+      r.Engine.total_moves r.Engine.total_accesses r.Engine.scheduler_turns;
+    if verbose then begin
+      print_endline "verdicts:";
+      List.iter
+        (fun (c, v) ->
+          Printf.printf "  %-10s %s\n" (Color.name c)
+            (Qe_runtime.Protocol.verdict_to_string v))
+        r.Engine.verdicts;
+      print_endline "per-agent stats (moves/posts/erases/reads/turns):";
+      List.iter
+        (fun (c, (s : Engine.agent_stats)) ->
+          Printf.printf "  %-10s %d/%d/%d/%d/%d\n" (Color.name c) s.moves
+            s.posts s.erases s.reads s.turns)
+        r.Engine.per_agent
+    end;
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
+(* ---------- analyze ---------- *)
+
+let analyze_cmd file instance graph agents =
+  try
+    let g, black, name = resolve_instance ?file ~instance ~graph ~agents () in
+    let b = Bicolored.make g ~black in
+    Printf.printf "instance %s: n=%d, m=%d, agents at {%s}\n" name (Graph.n g)
+      (Graph.m g)
+      (String.concat "," (List.map string_of_int black));
+    let t = Qe_symmetry.Classes.compute b in
+    print_string (Format.asprintf "%a" Qe_symmetry.Classes.pp t);
+    Printf.printf "gcd of class sizes: %d\n"
+      (Qe_symmetry.Classes.gcd_sizes t);
+    Printf.printf "Theorem 3.1: ELECT will %s\n"
+      (match Oracle.elect_prediction b with
+      | `Elects -> "elect a leader"
+      | `Reports_failure -> "report failure");
+    (if Graph.n g <= 24 then
+       match Qe_symmetry.Cayley_detect.recognize g with
+       | Qe_symmetry.Cayley_detect.Cayley r ->
+           Printf.printf
+             "Cayley graph: yes (|S| = %d, recovered group %s); \
+              placement-preserving translation in some regular subgroup: \
+              %b\n"
+             (List.length r.Qe_symmetry.Cayley_detect.generators)
+             (Option.value ~default:"unrecognized"
+                (Qe_group.Group.identify r.Qe_symmetry.Cayley_detect.group))
+             (Oracle.translation_impossible b)
+       | Qe_symmetry.Cayley_detect.Not_cayley ->
+           print_endline "Cayley graph: no"
+       | Qe_symmetry.Cayley_detect.Unknown msg ->
+           Printf.printf "Cayley recognition: %s\n" msg);
+    Printf.printf "overall prediction: %s\n"
+      (Format.asprintf "%a" Oracle.pp_prediction (Oracle.predict b));
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
+(* ---------- zoo ---------- *)
+
+let zoo_cmd () =
+  Printf.printf "%-22s %-10s %-7s %-4s %-4s %s\n" "name" "family" "cayley"
+    "n" "m" "agents";
+  List.iter
+    (fun i ->
+      Printf.printf "%-22s %-10s %-7b %-4d %-4d {%s}\n" i.Campaign.name
+        i.Campaign.family i.Campaign.cayley
+        (Graph.n i.Campaign.graph)
+        (Graph.m i.Campaign.graph)
+        (String.concat "," (List.map string_of_int i.Campaign.black)))
+    (Campaign.zoo () @ Campaign.cayley_zoo ());
+  `Ok ()
+
+(* ---------- dot ---------- *)
+
+let dot_cmd file instance graph agents =
+  try
+    let g, black, _ = resolve_instance ?file ~instance ~graph ~agents () in
+    let b = Bicolored.make g ~black in
+    print_string (Qe_graph.Dot.bicolored b);
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
+(* ---------- save ---------- *)
+
+let save_cmd instance graph agents out =
+  try
+    let g, black, name = resolve_instance ~instance ~graph ~agents () in
+    Qe_graph.Serial.save ~path:out ~black g;
+    Printf.printf "saved %s to %s\n" name out;
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
+(* ---------- sweep (CSV) ---------- *)
+
+let sweep_cmd protocol seeds =
+  try
+    let proto, expected =
+      match protocol with
+      | "elect" -> (Qe_elect.Elect.protocol, Campaign.elect_expected)
+      | "elect-cayley" ->
+          (Qe_elect.Elect_cayley.protocol, Campaign.elect_expected)
+      | "quantitative" ->
+          (Qe_elect.Quantitative.protocol, fun _ -> true)
+      | other -> failwith (other ^ ": sweep supports elect, elect-cayley, quantitative")
+    in
+    let seeds = List.init (max 1 seeds) Fun.id in
+    let records = Campaign.sweep ~seeds ~expected proto (Campaign.zoo ()) in
+    print_endline
+      "instance,family,protocol,strategy,seed,nodes,edges,agents,gcd,\
+       expected_elected,elected,conforms,moves,accesses,turns";
+    List.iter
+      (fun r ->
+        Printf.printf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%b,%b,%b,%d,%d,%d\n"
+          r.Campaign.inst.Campaign.name r.Campaign.inst.Campaign.family
+          r.Campaign.protocol_name r.Campaign.strategy_name r.Campaign.seed
+          r.Campaign.nodes r.Campaign.edges r.Campaign.agents r.Campaign.gcd
+          r.Campaign.expected_elected r.Campaign.elected r.Campaign.conforms
+          r.Campaign.moves r.Campaign.accesses r.Campaign.turns)
+      records;
+    let ok, total = Campaign.conformance_rate records in
+    Printf.eprintf "# conformance: %d/%d\n" ok total;
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
+(* ---------- cmdliner plumbing ---------- *)
+
+let file_arg =
+  Arg.(value & opt (some string) None & info [ "file"; "f" ] ~doc:"Instance file (qelect-instance format).")
+
+let instance_arg =
+  Arg.(value & opt (some string) None & info [ "instance"; "i" ] ~doc:"Zoo instance name.")
+
+let graph_arg =
+  Arg.(value & opt (some string) None & info [ "graph"; "g" ] ~doc:"Graph spec, e.g. cycle:8.")
+
+let agents_arg =
+  Arg.(value & opt (some string) None & info [ "agents"; "a" ] ~doc:"Comma-separated home-bases.")
+
+let protocol_arg =
+  Arg.(value & opt string "elect" & info [ "protocol"; "p" ] ~doc:"Protocol name.")
+
+let strategy_arg =
+  Arg.(value & opt string "random" & info [ "strategy"; "s" ] ~doc:"Scheduler strategy.")
+
+let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Scheduler seed.")
+let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-agent details.")
+let trace_arg = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the event timeline (first 500 events).")
+
+let run_term =
+  Term.(
+    ret
+      (const run_cmd $ file_arg $ instance_arg $ graph_arg $ agents_arg
+     $ protocol_arg $ strategy_arg $ seed_arg $ verbose_arg $ trace_arg))
+
+let analyze_term =
+  Term.(
+    ret (const analyze_cmd $ file_arg $ instance_arg $ graph_arg $ agents_arg))
+
+let zoo_term = Term.(ret (const zoo_cmd $ const ()))
+let dot_term =
+  Term.(ret (const dot_cmd $ file_arg $ instance_arg $ graph_arg $ agents_arg))
+
+let out_arg =
+  Arg.(
+    value
+    & opt string "instance.qelect"
+    & info [ "out"; "o" ] ~doc:"Output path.")
+
+let seeds_arg =
+  Arg.(value & opt int 2 & info [ "seeds" ] ~doc:"Number of seeds (0..k-1).")
+
+let save_term =
+  Term.(
+    ret (const save_cmd $ instance_arg $ graph_arg $ agents_arg $ out_arg))
+
+let sweep_term = Term.(ret (const sweep_cmd $ protocol_arg $ seeds_arg))
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "run" ~doc:"Run an election protocol on an instance")
+      run_term;
+    Cmd.v
+      (Cmd.info "analyze"
+         ~doc:"Class structure, gcd, predictions and Cayley recognition")
+      analyze_term;
+    Cmd.v (Cmd.info "zoo" ~doc:"List the built-in instance suite") zoo_term;
+    Cmd.v (Cmd.info "dot" ~doc:"Emit Graphviz for an instance") dot_term;
+    Cmd.v
+      (Cmd.info "save" ~doc:"Write an instance to a qelect-instance file")
+      save_term;
+    Cmd.v
+      (Cmd.info "sweep"
+         ~doc:"Run the full conformance matrix and print CSV records")
+      sweep_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "qelect" ~version:"1.0.0"
+      ~doc:"Qualitative leader election (Barriere-Flocchini-Fraigniaud-Santoro, SPAA 2003)"
+  in
+  exit (Cmd.eval (Cmd.group info cmds))

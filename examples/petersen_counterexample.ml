@@ -1,0 +1,58 @@
+(* The Petersen counterexample (Section 4 / Figure 5), step by step:
+   ELECT's gcd test fails, yet a bespoke protocol elects — so ELECT is not
+   effectual beyond Cayley graphs.
+
+   Run with: dune exec examples/petersen_counterexample.exe *)
+
+module Families = Qe_graph.Families
+module Bicolored = Qe_graph.Bicolored
+module Classes = Qe_symmetry.Classes
+module World = Qe_runtime.World
+module Engine = Qe_runtime.Engine
+module Color = Qe_color.Color
+
+let () =
+  let g = Families.petersen () in
+  let black = [ 0; 1 ] in
+  let b = Bicolored.make g ~black in
+
+  print_endline "The Petersen graph: 10 nodes, 15 edges, vertex-transitive.";
+  Printf.printf "Is it a Cayley graph? %b (Sabidussi: no regular subgroup)\n"
+    (Qe_elect.Oracle.is_cayley g);
+
+  let t = Classes.compute b in
+  Printf.printf
+    "\nWith two adjacent home-bases, the equivalence classes are:\n%s"
+    (Format.asprintf "%a" Classes.pp t);
+  Printf.printf "gcd of sizes = %d, so ELECT reports failure:\n"
+    (Classes.gcd_sizes t);
+
+  let w = World.make g ~black in
+  let r = Engine.run ~seed:5 w Qe_elect.Elect.protocol in
+  Printf.printf "  ELECT -> %s\n"
+    (match r.Engine.outcome with
+    | Engine.Declared_unsolvable -> "reports failure (as Theorem 3.1 says)"
+    | Engine.Elected _ -> "elected (?!)"
+    | _ -> "unexpected");
+
+  print_endline
+    "\nYet election IS possible here. The ad-hoc protocol:\n\
+    \  1. wake the other agent;\n\
+    \  2. mark a neighbor of your home that is not the other home;\n\
+    \  3. find the neighbor the other agent marked;\n\
+    \  4. the two marks are non-adjacent (girth 5), so they have exactly\n\
+    \     one common neighbor x (Petersen is strongly regular);\n\
+    \  5. race for x — mutual exclusion on x's whiteboard breaks the tie.";
+
+  let w2 = World.make g ~black in
+  let r2 = Engine.run ~seed:5 w2 Qe_elect.Petersen_adhoc.protocol in
+  (match r2.Engine.outcome with
+  | Engine.Elected c ->
+      Printf.printf "\n  ad-hoc -> elected %s in %d moves\n" (Color.name c)
+        r2.Engine.total_moves
+  | _ -> print_endline "\n  ad-hoc -> unexpected failure");
+
+  print_endline
+    "\nConclusion: gcd(classes) > 1 does not imply impossibility on\n\
+     non-Cayley graphs — ELECT is not effectual in general, which is why\n\
+     the paper restricts Theorem 4.1 to Cayley graphs."

@@ -1,0 +1,40 @@
+(* Quickstart: elect a leader among three agents on a 7-node ring.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Families = Qe_graph.Families
+module World = Qe_runtime.World
+module Engine = Qe_runtime.Engine
+module Color = Qe_color.Color
+
+let () =
+  (* An anonymous 7-ring with agents at nodes 0, 1 and 3. Agents get
+     distinct but incomparable colors; nodes have no identities at all. *)
+  let graph = Families.cycle 7 in
+  let world = World.make graph ~black:[ 0; 1; 3 ] in
+
+  (* What does the theory say? ELECT succeeds iff the gcd of the
+     equivalence-class sizes is 1 (Theorem 3.1). *)
+  let instance = Qe_graph.Bicolored.make graph ~black:[ 0; 1; 3 ] in
+  Printf.printf "class gcd = %d, prediction: %s\n"
+    (Qe_elect.Oracle.gcd_classes instance)
+    (Format.asprintf "%a" Qe_elect.Oracle.pp_prediction
+       (Qe_elect.Oracle.predict instance));
+
+  (* Run protocol ELECT under a random fair scheduler. *)
+  let result = Engine.run ~seed:42 world Qe_elect.Elect.protocol in
+  (match result.Engine.outcome with
+  | Engine.Elected leader ->
+      Printf.printf "elected: agent %s\n" (Color.name leader)
+  | Engine.Declared_unsolvable ->
+      print_endline "agents agreed the election is unsolvable"
+  | _ -> print_endline "unexpected outcome");
+
+  (* Every verdict, and the cost. *)
+  List.iter
+    (fun (c, v) ->
+      Printf.printf "  %s: %s\n" (Color.name c)
+        (Qe_runtime.Protocol.verdict_to_string v))
+    result.Engine.verdicts;
+  Printf.printf "total moves: %d, whiteboard accesses: %d\n"
+    result.Engine.total_moves result.Engine.total_accesses

@@ -1,0 +1,1 @@
+include Token.Make ()

@@ -1,0 +1,6 @@
+(** Agent colors: distinct, mutually incomparable labels.
+
+    Every agent is assigned one color (the function [c : A -> C] of the
+    paper). All a protocol can do with two colors is test equality. *)
+
+include Token.S

@@ -1,0 +1,22 @@
+let color_names =
+  [|
+    "crimson"; "teal"; "amber"; "indigo"; "olive"; "coral"; "slate"; "mint";
+    "plum"; "rust"; "azure"; "fawn"; "jade"; "mauve"; "ochre"; "pearl";
+    "sepia"; "topaz"; "umber"; "viridian"; "wine"; "zinc"; "beryl"; "cobalt";
+    "denim"; "ebony"; "flax"; "garnet"; "henna"; "ivory"; "jasper"; "khaki";
+    "lilac"; "maroon"; "navy"; "onyx"; "peach"; "quartz"; "rose"; "saffron";
+  |]
+
+let symbol_names =
+  [|
+    "*"; "o"; "#"; "@"; "%"; "&"; "+"; "~"; "^"; "?"; "!"; "$"; ":"; ";";
+    "/"; "\\"; "|"; "-"; "="; "_"; "<"; ">"; "("; ")"; "["; "]"; "{"; "}";
+    "."; ","; "'"; "`"; "\""; "a"; "b"; "c"; "d"; "e"; "f"; "g";
+  |]
+
+let pick names i =
+  let m = Array.length names in
+  if i < m then names.(i) else Printf.sprintf "%s%d" names.(i mod m) (i / m)
+
+let colors n = List.init n (fun i -> Color.mint (pick color_names i))
+let symbols n = List.init n (fun i -> Symbol.mint (pick symbol_names i))

@@ -1,0 +1,8 @@
+(** Port-label symbols: the per-node edge labels of an anonymous network.
+
+    The labels incident to one node are pairwise distinct, but the label set
+    carries no order — they are "geometric figures, algebraic symbols, or
+    colors" in the paper's words. A distinct token type from {!Color} so
+    agent colors and port labels cannot be confused. *)
+
+include Token.S

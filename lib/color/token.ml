@@ -1,0 +1,48 @@
+module type S = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val name : t -> string
+  val mint : string -> t
+  val mint_many : string array -> t list
+
+  module Tbl : Hashtbl.S with type key = t
+
+  module Internal : sig
+    val to_int : t -> int
+    val of_int : int -> string -> t
+    val compare : t -> t -> int
+  end
+end
+
+module Make () : S = struct
+  type t = { id : int; name : string }
+
+  let counter = ref 0
+
+  let mint name =
+    let id = !counter in
+    incr counter;
+    { id; name }
+
+  let mint_many names = Array.to_list (Array.map mint names)
+  let equal a b = a.id = b.id
+  let hash a = Hashtbl.hash a.id
+  let name a = a.name
+  let pp ppf a = Format.fprintf ppf "%s" a.name
+
+  module Tbl = Hashtbl.Make (struct
+    type nonrec t = t
+
+    let equal = equal
+    let hash = hash
+  end)
+
+  module Internal = struct
+    let to_int a = a.id
+    let of_int id name = { id; name }
+    let compare a b = Stdlib.compare a.id b.id
+  end
+end

@@ -1,0 +1,58 @@
+(** Opaque, mutually incomparable tokens.
+
+    A token supports {e equality} and nothing else: no [compare], no numeric
+    view. This is the qualitative model of the paper — labels can be
+    distinguished but not ordered. Protocol code is compiled against this
+    interface, so ordering tokens is a type error rather than a discipline.
+
+    The functor is generative: each application mints a fresh abstract type,
+    so agent colors and port-label symbols cannot be mixed up. *)
+
+module type S = sig
+  type t
+  (** An opaque token. *)
+
+  val equal : t -> t -> bool
+  (** The only relation the qualitative model grants. *)
+
+  val hash : t -> int
+  (** Hashing is allowed: it lets tokens key hash tables without revealing an
+      order (a protocol cannot observe hash values consistently across runs —
+      see {!Internal} for why the underlying ints stay hidden). *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Prints the display name given at minting time. *)
+
+  val name : t -> string
+  (** Display name (purely cosmetic; distinct tokens may share names). *)
+
+  val mint : string -> t
+  (** [mint name] creates a token distinct from every token minted before. *)
+
+  val mint_many : string array -> t list
+  (** Mints one token per display name, in order. *)
+
+  module Tbl : Hashtbl.S with type key = t
+  (** Hash tables keyed by tokens — the only associative container protocols
+      may use (no ordered [Map] is provided, by design). *)
+
+  (** Escape hatch for the simulator, oracles and tests. Protocol code must
+      not use it; code review enforces that the only call sites are in
+      [lib/runtime], the oracle and test suites. *)
+  module Internal : sig
+    val to_int : t -> int
+    (** Stable identity of the token (its minting order). *)
+
+    val of_int : int -> string -> t
+    (** Rebuilds a token from a stable identity; used by the runtime to
+        deserialize signs. [of_int i n] is equal to any token minted with
+        identity [i]. *)
+
+    val compare : t -> t -> int
+    (** Total order on identities — for oracles and deterministic test
+        output only. *)
+  end
+end
+
+module Make () : S
+(** Mints a fresh token type. *)

@@ -1,0 +1,14 @@
+(** A color-blind (anonymous-agent) election attempt, for the Table 1
+    demonstration that anonymous agents cannot elect.
+
+    The protocol deliberately ignores sign colors — it cannot even tell its
+    own signs from others' (that is what agent anonymity means once the
+    home marks carry no usable identity). Each agent claims at its
+    home-base, takes one step, and concedes iff it sees any claim there.
+    On instances with a lone agent it elects; on symmetric instances
+    (e.g. [K_2], antipodal agents on an even ring) every schedule makes
+    all agents reach the same verdict — either all concede or all claim —
+    so no leader emerges, reproducing the paper's impossibility argument
+    for the anonymous row of Table 1. *)
+
+val protocol : Qe_runtime.Protocol.t

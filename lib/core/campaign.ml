@@ -1,0 +1,237 @@
+module Graph = Qe_graph.Graph
+module Bicolored = Qe_graph.Bicolored
+module F = Qe_graph.Families
+module Engine = Qe_runtime.Engine
+module World = Qe_runtime.World
+module Protocol = Qe_runtime.Protocol
+
+type instance = {
+  name : string;
+  family : string;
+  cayley : bool;
+  graph : Graph.t;
+  black : int list;
+}
+
+let instance ~name ~family ~cayley graph ~black =
+  { name; family; cayley; graph; black }
+
+let bicolored i = Bicolored.make i.graph ~black:i.black
+
+let zoo () =
+  [
+    (* paths and trees: rigid or reflection-symmetric *)
+    instance ~name:"path4/end" ~family:"path" ~cayley:false (F.path 4)
+      ~black:[ 0 ];
+    instance ~name:"path4/ends" ~family:"path" ~cayley:false (F.path 4)
+      ~black:[ 0; 3 ];
+    instance ~name:"path4/asym" ~family:"path" ~cayley:false (F.path 4)
+      ~black:[ 0; 2 ];
+    instance ~name:"path5/mid-pair" ~family:"path" ~cayley:false (F.path 5)
+      ~black:[ 1; 2 ];
+    instance ~name:"tree2/siblings" ~family:"tree" ~cayley:false
+      (F.binary_tree 2) ~black:[ 1; 2 ];
+    instance ~name:"tree2/root+leaves" ~family:"tree" ~cayley:false
+      (F.binary_tree 2) ~black:[ 0; 3; 4 ];
+    instance ~name:"star3/leaves" ~family:"star" ~cayley:false (F.star 3)
+      ~black:[ 1; 2; 3 ];
+    instance ~name:"star5/two-leaves" ~family:"star" ~cayley:false (F.star 5)
+      ~black:[ 1; 2 ];
+    instance ~name:"wheel6/rim3" ~family:"wheel" ~cayley:false (F.wheel 6)
+      ~black:[ 0; 2; 4 ];
+    instance ~name:"wheel5/hub+rim" ~family:"wheel" ~cayley:false (F.wheel 5)
+      ~black:[ 5; 0 ];
+    (* rings *)
+    instance ~name:"C5/adjacent" ~family:"cycle" ~cayley:true (F.cycle 5)
+      ~black:[ 0; 1 ];
+    instance ~name:"C5/all" ~family:"cycle" ~cayley:true (F.cycle 5)
+      ~black:[ 0; 1; 2; 3; 4 ];
+    instance ~name:"C6/antipodal" ~family:"cycle" ~cayley:true (F.cycle 6)
+      ~black:[ 0; 3 ];
+    instance ~name:"C6/adjacent" ~family:"cycle" ~cayley:true (F.cycle 6)
+      ~black:[ 0; 1 ];
+    instance ~name:"C6/triangle" ~family:"cycle" ~cayley:true (F.cycle 6)
+      ~black:[ 0; 2; 4 ];
+    instance ~name:"C7/spread" ~family:"cycle" ~cayley:true (F.cycle 7)
+      ~black:[ 0; 1; 3 ];
+    instance ~name:"C8/square" ~family:"cycle" ~cayley:true (F.cycle 8)
+      ~black:[ 0; 2; 4; 6 ];
+    instance ~name:"C10/near-pair" ~family:"cycle" ~cayley:true (F.cycle 10)
+      ~black:[ 0; 2 ];
+    instance ~name:"C12/break" ~family:"cycle" ~cayley:true (F.cycle 12)
+      ~black:[ 0; 1; 5 ];
+    instance ~name:"C12/two-blocks" ~family:"cycle" ~cayley:true (F.cycle 12)
+      ~black:[ 0; 1; 2; 6; 7; 8 ];
+    (* complete graphs *)
+    instance ~name:"K2/both" ~family:"complete" ~cayley:true (F.complete 2)
+      ~black:[ 0; 1 ];
+    instance ~name:"K4/pair" ~family:"complete" ~cayley:true (F.complete 4)
+      ~black:[ 0; 1 ];
+    instance ~name:"K4/all" ~family:"complete" ~cayley:true (F.complete 4)
+      ~black:[ 0; 1; 2; 3 ];
+    instance ~name:"K5/triple" ~family:"complete" ~cayley:true (F.complete 5)
+      ~black:[ 0; 1; 2 ];
+    (* hypercubes *)
+    instance ~name:"Q3/antipodal" ~family:"hypercube" ~cayley:true
+      (F.hypercube 3) ~black:[ 0; 7 ];
+    instance ~name:"Q3/adjacent" ~family:"hypercube" ~cayley:true
+      (F.hypercube 3) ~black:[ 0; 1 ];
+    instance ~name:"Q3/face" ~family:"hypercube" ~cayley:true (F.hypercube 3)
+      ~black:[ 0; 3; 5; 6 ];
+    instance ~name:"Q4/pair" ~family:"hypercube" ~cayley:true (F.hypercube 4)
+      ~black:[ 0; 15 ];
+    (* tori, circulants, bipartite *)
+    instance ~name:"T33/pair" ~family:"torus" ~cayley:true (F.torus 3 3)
+      ~black:[ 0; 4 ];
+    instance ~name:"T34/diag" ~family:"torus" ~cayley:true (F.torus 3 4)
+      ~black:[ 0; 5; 10 ];
+    instance ~name:"circ10-13/pair" ~family:"circulant" ~cayley:true
+      (F.circulant 10 [ 1; 3 ]) ~black:[ 0; 5 ];
+    instance ~name:"K33/cross" ~family:"bipartite" ~cayley:true
+      (F.complete_bipartite 3 3) ~black:[ 0; 3 ];
+    instance ~name:"grid23/corners" ~family:"grid" ~cayley:false (F.grid 2 3)
+      ~black:[ 0; 5 ];
+    (* Petersen: the paper's counterexample *)
+    instance ~name:"petersen/adjacent" ~family:"petersen" ~cayley:false
+      (F.petersen ()) ~black:[ 0; 1 ];
+    instance ~name:"petersen/triple" ~family:"petersen" ~cayley:false
+      (F.petersen ()) ~black:[ 0; 1; 2 ];
+    (* generalized Petersen cousins: more vertex-transitive specimens *)
+    instance ~name:"moebius-kantor/adj" ~family:"gp" ~cayley:true
+      (F.moebius_kantor ()) ~black:[ 0; 1 ];
+    instance ~name:"dodecahedron/adj" ~family:"gp" ~cayley:false
+      (F.dodecahedron ()) ~black:[ 0; 1 ];
+    instance ~name:"desargues/adj" ~family:"gp" ~cayley:false
+      (F.desargues ()) ~black:[ 0; 1 ];
+    instance ~name:"octahedron/pair" ~family:"multipartite" ~cayley:true
+      (F.complete_multipartite [ 2; 2; 2 ])
+      ~black:[ 0; 2 ];
+    (* deep Euclid chains: Fibonacci double stars force worst-case
+       AGENT-REDUCE round counts; unequal multipartite parts drive
+       NODE-REDUCE *)
+    instance ~name:"dstar5-3/leaves" ~family:"doublestar" ~cayley:false
+      (F.double_star 5 3)
+      ~black:(List.init 8 (fun i -> 2 + i));
+    instance ~name:"dstar8-5/leaves" ~family:"doublestar" ~cayley:false
+      (F.double_star 8 5)
+      ~black:(List.init 13 (fun i -> 2 + i));
+    instance ~name:"K469/part1" ~family:"multipartite" ~cayley:false
+      (F.complete_multipartite [ 4; 6; 9 ])
+      ~black:[ 0; 1; 2; 3 ];
+    instance ~name:"K468/part1" ~family:"multipartite" ~cayley:false
+      (F.complete_multipartite [ 4; 6; 8 ])
+      ~black:[ 0; 1; 2; 3 ];
+    (* random connected graphs (rigid with overwhelming probability) *)
+    instance ~name:"rand9/3" ~family:"random" ~cayley:false
+      (F.random_connected ~seed:5 ~n:9 ~extra_edges:3)
+      ~black:[ 0; 4; 7 ];
+    instance ~name:"rand12/2" ~family:"random" ~cayley:false
+      (F.random_connected ~seed:9 ~n:12 ~extra_edges:6)
+      ~black:[ 1; 2 ];
+  ]
+
+let cayley_zoo () =
+  List.filter (fun i -> i.cayley) (zoo ())
+  @ [
+      instance ~name:"C9/thirds" ~family:"cycle" ~cayley:true (F.cycle 9)
+        ~black:[ 0; 3; 6 ];
+      instance ~name:"C9/pair" ~family:"cycle" ~cayley:true (F.cycle 9)
+        ~black:[ 0; 3 ];
+      instance ~name:"Q2/all" ~family:"hypercube" ~cayley:true (F.hypercube 2)
+        ~black:[ 0; 1; 2; 3 ];
+      instance ~name:"Q2/edge" ~family:"hypercube" ~cayley:true
+        (F.hypercube 2) ~black:[ 0; 1 ];
+      instance ~name:"circ8-14/anti" ~family:"circulant" ~cayley:true
+        (F.circulant 8 [ 1; 4 ]) ~black:[ 0; 4 ];
+      instance ~name:"prism6/pair" ~family:"circulant" ~cayley:true
+        (F.circulant 6 [ 2; 3 ]) ~black:[ 0; 3 ];
+      instance ~name:"T33/single" ~family:"torus" ~cayley:true (F.torus 3 3)
+        ~black:[ 0 ];
+      instance ~name:"K5/pair" ~family:"complete" ~cayley:true (F.complete 5)
+        ~black:[ 0; 1 ];
+      instance ~name:"CCC3/pair" ~family:"ccc" ~cayley:true
+        (F.cube_connected_cycles 3) ~black:[ 0; 13 ];
+    ]
+
+type record = {
+  inst : instance;
+  protocol_name : string;
+  strategy_name : string;
+  seed : int;
+  outcome : Engine.outcome;
+  elected : bool;
+  expected_elected : bool;
+  conforms : bool;
+  gcd : int;
+  prediction : Oracle.prediction;
+  agents : int;
+  nodes : int;
+  edges : int;
+  moves : int;
+  accesses : int;
+  turns : int;
+}
+
+let strategies =
+  [
+    ("round-robin", Engine.Round_robin);
+    ("random", Engine.Random_fair 0);
+    ("lifo", Engine.Lifo);
+    ("fifo-mailbox", Engine.Fifo_mailbox);
+    ("synchronous", Engine.Synchronous);
+  ]
+
+let run_one ?strategy ?(seed = 0) ~expected_elected inst proto =
+  let strategy_name, strategy =
+    match strategy with
+    | Some (name, s) -> (
+        ( name,
+          match s with Engine.Random_fair _ -> Engine.Random_fair seed | s -> s ))
+    | None -> ("random", Engine.Random_fair seed)
+  in
+  let world = World.make inst.graph ~black:inst.black in
+  let result = Engine.run ~strategy ~seed world proto in
+  let elected =
+    match result.Engine.outcome with Engine.Elected _ -> true | _ -> false
+  in
+  let unsolvable = result.Engine.outcome = Engine.Declared_unsolvable in
+  let conforms = if expected_elected then elected else unsolvable in
+  let b = bicolored inst in
+  {
+    inst;
+    protocol_name = proto.Protocol.name;
+    strategy_name;
+    seed;
+    outcome = result.Engine.outcome;
+    elected;
+    expected_elected;
+    conforms;
+    gcd = Oracle.gcd_classes b;
+    prediction = Oracle.predict b;
+    agents = List.length inst.black;
+    nodes = Graph.n inst.graph;
+    edges = Graph.m inst.graph;
+    moves = result.Engine.total_moves;
+    accesses = result.Engine.total_accesses;
+    turns = result.Engine.scheduler_turns;
+  }
+
+let elect_expected inst = Oracle.gcd_classes (bicolored inst) = 1
+
+let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ~expected proto
+    instances =
+  List.concat_map
+    (fun inst ->
+      let expected_elected = expected inst in
+      List.concat_map
+        (fun strat ->
+          List.map
+            (fun seed -> run_one ~strategy:strat ~seed ~expected_elected inst proto)
+            seeds)
+        strategies)
+    instances
+
+let conformance_rate records =
+  let total = List.length records in
+  let ok = List.length (List.filter (fun r -> r.conforms) records) in
+  (ok, total)

@@ -1,0 +1,73 @@
+(** Experiment driver: the standard instance suite and batch runners used
+    by the benches, the CLI and the integration tests. *)
+
+type instance = {
+  name : string;
+  family : string;  (** "cycle", "hypercube", ... *)
+  cayley : bool;  (** is the topology a Cayley graph (ground truth) *)
+  graph : Qe_graph.Graph.t;
+  black : int list;
+}
+
+val instance :
+  name:string -> family:string -> cayley:bool -> Qe_graph.Graph.t ->
+  black:int list -> instance
+
+val bicolored : instance -> Qe_graph.Bicolored.t
+
+val zoo : unit -> instance list
+(** The standard suite: rings, paths, trees, stars, wheels, complete
+    graphs, hypercubes, tori, circulants, Petersen, random graphs — with
+    symmetric and symmetry-breaking placements. All small enough for the
+    exact oracles. *)
+
+val cayley_zoo : unit -> instance list
+(** The Cayley-only sweep used by the Theorem 4.1 experiment. *)
+
+type record = {
+  inst : instance;
+  protocol_name : string;
+  strategy_name : string;
+  seed : int;
+  outcome : Qe_runtime.Engine.outcome;
+  elected : bool;
+  expected_elected : bool;
+  conforms : bool;
+  gcd : int;
+  prediction : Oracle.prediction;
+  agents : int;
+  nodes : int;
+  edges : int;
+  moves : int;
+  accesses : int;
+  turns : int;
+}
+
+val strategies : (string * Qe_runtime.Engine.strategy) list
+(** The scheduler matrix: round-robin, random, lifo, fifo-mailbox,
+    synchronous. *)
+
+val run_one :
+  ?strategy:string * Qe_runtime.Engine.strategy ->
+  ?seed:int ->
+  expected_elected:bool ->
+  instance ->
+  Qe_runtime.Protocol.t ->
+  record
+(** One execution; [expected_elected] is the theory's prediction for this
+    protocol on this instance. *)
+
+val elect_expected : instance -> bool
+(** Theorem 3.1: ELECT elects iff the class gcd is 1. *)
+
+val sweep :
+  ?seeds:int list ->
+  ?strategies:(string * Qe_runtime.Engine.strategy) list ->
+  expected:(instance -> bool) ->
+  Qe_runtime.Protocol.t ->
+  instance list ->
+  record list
+(** Full matrix: instances x strategies x seeds. *)
+
+val conformance_rate : record list -> int * int
+(** (conforming runs, total runs). *)

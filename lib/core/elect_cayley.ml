@@ -1,0 +1,26 @@
+module Protocol = Qe_runtime.Protocol
+module Cayley_detect = Qe_symmetry.Cayley_detect
+
+let locally_impossible g ~black =
+  Cayley_detect.exists_preserving_translation g ~black
+
+let main (ctx : Protocol.ctx) =
+  let map = Mapping.explore ctx in
+  let g = Mapping.graph map in
+  match Cayley_detect.recognize g with
+  | Cayley_detect.Cayley _ ->
+      if locally_impossible g ~black:(Mapping.home_bases map) then
+        (* Theorem 4.1: a placement-preserving translation exists, so an
+           adversarial labeling with non-trivial label-equivalence classes
+           exists, and election is impossible. Every agent reaches this
+           same conclusion from its own map — no coordination needed. *)
+        Protocol.Election_failed
+      else Elect.run_on_map Elect.generic_plan ctx map
+  | Cayley_detect.Not_cayley ->
+      (* outside the theorem's class: behave as generic ELECT *)
+      Elect.run_on_map Elect.generic_plan ctx map
+  | Cayley_detect.Unknown msg ->
+      Protocol.Aborted ("cayley recognition exceeded budget: " ^ msg)
+
+let protocol =
+  { Protocol.name = "elect-cayley"; quantitative = false; main }

@@ -1,0 +1,47 @@
+module Protocol = Qe_runtime.Protocol
+module Script = Qe_runtime.Script
+module Sign = Qe_runtime.Sign
+module Engine = Qe_runtime.Engine
+
+let arrived_tag = "gathered"
+let leader_tag = "leader"
+
+let main (ctx : Protocol.ctx) =
+  let map = Mapping.explore ctx in
+  let r = List.length (Mapping.home_bases map) in
+  match Elect.run_on_map Elect.generic_plan ctx map with
+  | Protocol.Leader ->
+      (* wait at home until everyone else has arrived *)
+      let nav = Nav.create map in
+      Nav.wait_here nav (fun obs ->
+          let arrivals =
+            List.length
+              (List.filter (Sign.has_tag arrived_tag) obs.Protocol.board)
+          in
+          if arrivals >= r - 1 then Some Protocol.Leader else None)
+  | Protocol.Defeated -> (
+      (* the announcement sign at my home carries the leader's color *)
+      let nav = Nav.create map in
+      let obs = Nav.observe nav in
+      let leader_color =
+        List.find_map
+          (fun s -> if Sign.has_tag leader_tag s then Some s.Sign.color else None)
+          obs.Protocol.board
+      in
+      match leader_color with
+      | None -> Protocol.Aborted "gathering: no leader announcement at home"
+      | Some c -> (
+          match Mapping.home_of_color map c with
+          | None -> Protocol.Aborted "gathering: leader color has no home"
+          | Some h ->
+              ignore (Nav.goto nav h);
+              Script.post ~tag:arrived_tag ();
+              Protocol.Defeated))
+  | (Protocol.Election_failed | Protocol.Aborted _) as v -> v
+
+let protocol = { Protocol.name = "gathering"; quantitative = false; main }
+
+let gathered (result : Engine.result) =
+  match result.Engine.final_locations with
+  | [] -> false
+  | (_, first) :: rest -> List.for_all (fun (_, loc) -> loc = first) rest

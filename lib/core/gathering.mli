@@ -1,0 +1,17 @@
+(** Gathering (rendezvous) via election — the paper's footnote 2: "Once a
+    leader is elected, many other computational tasks become
+    straightforward. Such is the case for the gathering or rendezvous
+    problem."
+
+    Protocol: run ELECT; the leader stays at its home-base and everyone
+    else walks there (they learn the leader's color from the announcement
+    sign at their own home and know its home-base from their map), posting
+    an arrival sign. The leader terminates once all [r - 1] arrivals are
+    on its whiteboard, so on success every agent halts on the same node.
+    If the election is unsolvable, so is gathering by this protocol, and
+    all agents report failure from their home-bases. *)
+
+val protocol : Qe_runtime.Protocol.t
+
+val gathered : Qe_runtime.Engine.result -> bool
+(** Did all agents halt on one node? (Engine-side check for tests.) *)

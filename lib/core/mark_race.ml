@@ -1,0 +1,111 @@
+module Protocol = Qe_runtime.Protocol
+module Script = Qe_runtime.Script
+module Sign = Qe_runtime.Sign
+module Graph = Qe_graph.Graph
+module Color = Qe_color.Color
+module Cdigraph = Qe_symmetry.Cdigraph
+module Aut = Qe_symmetry.Aut
+module Canon = Qe_symmetry.Canon
+
+let mark_tag = "mr-mark"
+let acq_tag = "mr-acquire"
+
+let main (ctx : Protocol.ctx) =
+  let map = Mapping.explore ctx in
+  let g = Mapping.graph map in
+  let nav = Nav.create map in
+  match Mapping.home_bases map with
+  | [ _; _ ] as homes ->
+      let h1 = Mapping.my_home map in
+      let h2 =
+        match List.filter (fun h -> h <> h1) homes with
+        | [ h ] -> h
+        | _ -> Script.halt (Protocol.Aborted "mark-race: expected two agents")
+      in
+      let other_color =
+        match Mapping.home_color map h2 with
+        | Some c -> c
+        | None -> Script.halt (Protocol.Aborted "mark-race: no opponent")
+      in
+      (* mark a neighbor of my home, preferring one that is not the other
+         home (my own arbitrary choice — the adversary shuffles my port
+         order, so this is adversarial too) *)
+      let m1 =
+        match
+          ( List.filter (fun v -> v <> h2) (Graph.neighbors g h1),
+            Graph.neighbors g h1 )
+        with
+        | v :: _, _ -> v
+        | [], v :: _ -> v
+        | [], [] -> Script.halt (Protocol.Aborted "mark-race: isolated home")
+      in
+      ignore (Nav.goto nav m1);
+      Script.post ~tag:mark_tag ();
+      (* locate the opponent's mark: tour until its sign shows up *)
+      let rec find_mark () =
+        let found = ref None in
+        Nav.tour nav (fun u obs ->
+            if !found = None then
+              if
+                List.exists
+                  (fun s ->
+                    Sign.has_tag mark_tag s
+                    && Color.equal s.Sign.color other_color)
+                  obs.Protocol.board
+              then found := Some u);
+        match !found with Some u -> u | None -> find_mark ()
+      in
+      let m2 = find_mark () in
+      (* the marked structure both agents agree on: homes one color,
+         marks another (a node can be both) *)
+      let node_color u =
+        let home = List.mem u homes and mark = u = m1 || u = m2 in
+        match (home, mark) with
+        | false, false -> 0
+        | true, false -> 1
+        | false, true -> 2
+        | true, true -> 3
+      in
+      let dg = Cdigraph.of_graph ~node_color g in
+      let orbits = Aut.orbit_partition dg in
+      let singletons =
+        List.filter_map (function [ u ] -> Some u | _ -> None) orbits
+      in
+      (match singletons with
+      | [] -> Protocol.Election_failed
+      | _ ->
+          (* deterministic, agreement-safe choice: the singleton whose
+             individualized certificate is least *)
+          let cert u =
+            Canon.certificate
+              (Cdigraph.of_graph
+                 ~node_color:(fun v ->
+                   if v = u then 4 + node_color v else node_color v)
+                 g)
+          in
+          let target =
+            List.fold_left
+              (fun best u ->
+                match best with
+                | None -> Some (u, cert u)
+                | Some (_, bc) ->
+                    let c = cert u in
+                    if String.compare c bc < 0 then Some (u, c) else best)
+              None singletons
+            |> Option.get |> fst
+          in
+          let obs = Nav.goto nav target in
+          if
+            List.exists
+              (fun s ->
+                Sign.has_tag acq_tag s
+                && Color.equal s.Sign.color other_color)
+              obs.Protocol.board
+          then Protocol.Defeated
+          else begin
+            Script.post ~tag:acq_tag ();
+            Protocol.Leader
+          end)
+  | _ -> Protocol.Aborted "mark-race: expected exactly two agents"
+
+let protocol = { Protocol.name = "mark-race"; quantitative = false; main }

@@ -1,0 +1,25 @@
+(** A generalization of the paper's Petersen ad-hoc protocol to arbitrary
+    graphs with two agents — probing the effectualness frontier (Open
+    Problem 1).
+
+    Each agent marks one neighbor of its home-base (its own arbitrary
+    choice), learns the other agent's mark from the whiteboards, and then
+    both consider the map {e bicolored twice}: home-bases one color, the
+    marked node(s) another. That marked structure is shared data, so the
+    agents agree on it exactly; if its automorphism group leaves some node
+    in a {e singleton orbit}, both deterministically select the [≺]-least
+    such node and race to acquire it — whiteboard mutual exclusion breaks
+    the tie, and the winner leads. If every orbit of the marked structure
+    is non-trivial, both agents report failure.
+
+    On the Petersen instance the marks are non-adjacent (girth 5) and their
+    unique common neighbor is always a singleton orbit, so this protocol
+    subsumes {!Petersen_adhoc}. On genuinely unsolvable instances (e.g.
+    antipodal agents on an even ring) every mark placement leaves a
+    mark-swapping symmetry, so it correctly gives up. In between lies the
+    frontier: instances where success depends on the adversarial port
+    presentation (e.g. [K_4] with two agents, where colliding marks
+    create asymmetry but distinct marks do not) — exactly the regime the
+    paper's open problem is about. The [frontier] bench section maps it. *)
+
+val protocol : Qe_runtime.Protocol.t

@@ -1,0 +1,66 @@
+module Graph = Qe_graph.Graph
+module Script = Qe_runtime.Script
+
+type t = { map : Mapping.t; mutable pos : int }
+
+let create map = { map; pos = Mapping.my_home map }
+let map t = t.map
+let position t = t.pos
+let observe (_ : t) = Script.observe ()
+
+let step t port =
+  let d = Graph.dart (Mapping.graph t.map) t.pos port in
+  let obs = Script.move (Mapping.symbol_at t.map t.pos port) in
+  t.pos <- d.dst;
+  obs
+
+let goto t target =
+  let g = Mapping.graph t.map in
+  if t.pos = target then Script.observe ()
+  else begin
+    (* BFS from target so parents point toward it *)
+    let n = Graph.n g in
+    let via = Array.make n (-1) in
+    (* via.(u) = port to take from u to get one step closer to target *)
+    let dist = Array.make n max_int in
+    dist.(target) <- 0;
+    let q = Queue.create () in
+    Queue.add target q;
+    while not (Queue.is_empty q) do
+      let v = Queue.pop q in
+      Array.iteri
+        (fun j (d : Graph.dart) ->
+          if dist.(d.dst) = max_int then begin
+            dist.(d.dst) <- dist.(v) + 1;
+            (* from d.dst, moving through its port d.dst_port reaches v *)
+            via.(d.dst) <- d.dst_port;
+            Queue.add d.dst q
+          end
+          else ignore j)
+        (Graph.darts g v)
+    done;
+    let last = ref None in
+    while t.pos <> target do
+      last := Some (step t via.(t.pos))
+    done;
+    match !last with Some o -> o | None -> Script.observe ()
+  end
+
+let tour t f =
+  let g = Mapping.graph t.map in
+  let walk = Qe_graph.Traverse.closed_node_walk g t.pos in
+  let seen = Array.make (Graph.n g) false in
+  let apply obs =
+    if not seen.(t.pos) then begin
+      seen.(t.pos) <- true;
+      f t.pos obs
+    end
+  in
+  apply (Script.observe ());
+  List.iter (fun port -> apply (step t port)) walk
+
+let wait_here (_ : t) pred =
+  let rec loop obs =
+    match pred obs with Some x -> x | None -> loop (Script.wait ())
+  in
+  loop (Script.observe ())

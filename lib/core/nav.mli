@@ -1,0 +1,34 @@
+(** Position-tracked navigation on top of a completed map.
+
+    After MAP-DRAWING an agent always knows where it stands in its own map
+    (it chose every move), so it can navigate by shortest paths and make
+    whole-network tours without re-reading node identities. *)
+
+type t
+
+val create : Mapping.t -> t
+(** Starts at the agent's home-base. *)
+
+val map : t -> Mapping.t
+val position : t -> int
+(** Current map node. *)
+
+val goto : t -> int -> Qe_runtime.Protocol.observation
+(** Walk a shortest path to a map node; returns the observation there
+    (a fresh one if already there). *)
+
+val tour :
+  t -> (int -> Qe_runtime.Protocol.observation -> unit) -> unit
+(** A closed spanning-tree walk from the current node visiting {e every}
+    node exactly once for the callback ([2(n-1)] moves), ending back where
+    it started. The callback runs during the visit, so posts happen under
+    that node's atomic visit. *)
+
+val wait_here :
+  t ->
+  (Qe_runtime.Protocol.observation -> 'a option) ->
+  'a
+(** Block at the current node until the predicate accepts the (changing)
+    whiteboard. *)
+
+val observe : t -> Qe_runtime.Protocol.observation

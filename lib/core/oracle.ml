@@ -1,0 +1,59 @@
+module Bicolored = Qe_graph.Bicolored
+module Graph = Qe_graph.Graph
+module Classes = Qe_symmetry.Classes
+module Cayley_detect = Qe_symmetry.Cayley_detect
+module Label_equiv = Qe_symmetry.Label_equiv
+module Engine = Qe_runtime.Engine
+
+type prediction = Solvable | Unsolvable | Frontier
+
+let gcd_classes b = Classes.gcd_sizes (Classes.compute b)
+
+let elect_prediction b =
+  if gcd_classes b = 1 then `Elects else `Reports_failure
+
+let translation_impossible b =
+  Cayley_detect.exists_preserving_translation (Bicolored.graph b)
+    ~black:(Bicolored.blacks b)
+
+let symmetric_labeling_exists b =
+  let g = Bicolored.graph b in
+  let subgroups = Cayley_detect.all_regular_subgroups g in
+  List.exists
+    (fun translations ->
+      (* rebuild the group and its natural labeling, then measure the
+         label-equivalence classes *)
+      let n = Graph.n g in
+      let table =
+        Array.init n (fun u -> Array.init n (fun w -> translations.(u).(w)))
+      in
+      let group = Qe_group.Group.of_mul_table ~name:"oracle" table in
+      let labeling =
+        Qe_graph.Labeling.make g (fun u i ->
+            let v = (Graph.dart g u i).dst in
+            Qe_group.Group.mul group (Qe_group.Group.inv group u) v)
+      in
+      Label_equiv.max_class_size ~placement:b labeling > 1)
+    subgroups
+
+let predict b =
+  if translation_impossible b then Unsolvable
+  else if gcd_classes b = 1 then Solvable
+  else Frontier
+
+let is_cayley g =
+  match Cayley_detect.recognize g with
+  | Cayley_detect.Cayley _ -> true
+  | Cayley_detect.Not_cayley -> false
+  | Cayley_detect.Unknown msg -> failwith ("Oracle.is_cayley: " ^ msg)
+
+let agrees prediction outcome =
+  match (prediction, outcome) with
+  | Solvable, Engine.Elected _ -> true
+  | (Unsolvable | Frontier), Engine.Declared_unsolvable -> true
+  | _ -> false
+
+let pp_prediction ppf = function
+  | Solvable -> Format.pp_print_string ppf "solvable"
+  | Unsolvable -> Format.pp_print_string ppf "unsolvable"
+  | Frontier -> Format.pp_print_string ppf "frontier"

@@ -1,0 +1,85 @@
+module Protocol = Qe_runtime.Protocol
+module Script = Qe_runtime.Script
+module Sign = Qe_runtime.Sign
+module Graph = Qe_graph.Graph
+module Color = Qe_color.Color
+
+let mark_tag = "pa-mark"
+let acq_tag = "pa-acquire"
+
+let main (ctx : Protocol.ctx) =
+  let map = Mapping.explore ctx in
+  let g = Mapping.graph map in
+  let nav = Nav.create map in
+  match Mapping.home_bases map with
+  | [ _; _ ] as homes ->
+      let h1 = Mapping.my_home map in
+      let h2 =
+        match List.filter (fun h -> h <> h1) homes with
+        | [ h ] -> h
+        | _ -> Script.halt (Protocol.Aborted "petersen: expected two agents")
+      in
+      if not (List.mem h2 (Graph.neighbors g h1)) then
+        Script.halt (Protocol.Aborted "petersen: home-bases must be adjacent");
+      (* mark my chosen neighbor (any neighbor that is not h2) *)
+      let m1 =
+        match List.filter (fun v -> v <> h2) (Graph.neighbors g h1) with
+        | v :: _ -> v
+        | [] -> Script.halt (Protocol.Aborted "petersen: degree too small")
+      in
+      ignore (Nav.goto nav m1);
+      Script.post ~tag:mark_tag ();
+      (* find the other agent's mark among h2's neighbors; poll until it
+         appears (the other agent is awake — map drawing woke it) *)
+      let other_color =
+        match Mapping.home_color map h2 with
+        | Some c -> c
+        | None -> Script.halt (Protocol.Aborted "petersen: no opponent color")
+      in
+      let candidates = List.filter (fun v -> v <> h1) (Graph.neighbors g h2) in
+      let rec find_mark () =
+        let found =
+          List.find_map
+            (fun v ->
+              let obs = Nav.goto nav v in
+              if
+                List.exists
+                  (fun s ->
+                    Sign.has_tag mark_tag s && Color.equal s.Sign.color other_color)
+                  obs.Protocol.board
+              then Some v
+              else None)
+            candidates
+        in
+        match found with Some v -> v | None -> find_mark ()
+      in
+      let m2 = find_mark () in
+      (* the unique common neighbor of the two marks *)
+      let x =
+        match
+          List.filter
+            (fun v -> List.mem v (Graph.neighbors g m2))
+            (Graph.neighbors g m1)
+        with
+        | [ x ] -> x
+        | l ->
+            Script.halt
+              (Protocol.Aborted
+                 (Printf.sprintf "petersen: %d common neighbors"
+                    (List.length l)))
+      in
+      let obs = Nav.goto nav x in
+      if
+        List.exists
+          (fun s ->
+            Sign.has_tag acq_tag s
+            && Color.equal s.Sign.color other_color)
+          obs.Protocol.board
+      then Protocol.Defeated
+      else begin
+        Script.post ~tag:acq_tag ();
+        Protocol.Leader
+      end
+  | _ -> Protocol.Aborted "petersen: expected exactly two agents"
+
+let protocol = { Protocol.name = "petersen-adhoc"; quantitative = false; main }

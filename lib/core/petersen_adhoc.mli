@@ -1,0 +1,22 @@
+(** The ad-hoc two-agent election protocol for the Petersen graph
+    (Section 4).
+
+    The Petersen instance with two adjacent home-bases has
+    [gcd(|C_b|, |C_g|, |C_w|) = 2], so ELECT gives up — yet election is
+    possible, which is the paper's proof that ELECT is not effectual
+    beyond Cayley graphs. The winning moves, per agent:
+
+    + wake the other agent (map drawing does this),
+    + mark a neighbor of your home-base that is not the other home-base,
+    + find the neighbor of the other home-base that the other agent
+      marked,
+    + race to acquire the {e unique} common neighbor of the two marks
+      (adjacent Petersen nodes share no neighbor, so the marks are
+      distinct and non-adjacent; non-adjacent Petersen nodes share exactly
+      one),
+    + first to write at that node wins.
+
+    Only meaningful on the Petersen graph with two adjacent agents; aborts
+    on anything else. *)
+
+val protocol : Qe_runtime.Protocol.t

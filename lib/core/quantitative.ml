@@ -1,0 +1,44 @@
+module Protocol = Qe_runtime.Protocol
+module Script = Qe_runtime.Script
+module Sign = Qe_runtime.Sign
+
+let rank_tag = "rank"
+let nudge_tag = "nudge"
+
+let main (ctx : Protocol.ctx) =
+  let my_rank =
+    match ctx.rank with
+    | Some r -> r
+    | None -> Script.halt (Protocol.Aborted "quantitative protocol needs ranks")
+  in
+  (* Publish my label at my home-base first. *)
+  Script.post ~tag:rank_tag ~body:(string_of_int my_rank) ();
+  let map = Mapping.explore ctx in
+  let nav = Nav.create map in
+  (* Phase 2: visit every home-base and read its label. A visited agent
+     may not have published yet (it might still be asleep); posting a
+     nudge wakes it, then we wait. *)
+  let ranks = ref [ my_rank ] in
+  List.iter
+    (fun h ->
+      if h <> Mapping.my_home map then begin
+        let obs = Nav.goto nav h in
+        let read (o : Protocol.observation) =
+          List.find_map
+            (fun s ->
+              if Sign.has_tag rank_tag s then int_of_string_opt s.Sign.body
+              else None)
+            o.board
+        in
+        match read obs with
+        | Some r -> ranks := r :: !ranks
+        | None ->
+            Script.post ~tag:nudge_tag ();
+            let r = Nav.wait_here nav read in
+            ranks := r :: !ranks
+      end)
+    (Mapping.home_bases map);
+  let maximum = List.fold_left max min_int !ranks in
+  if maximum = my_rank then Protocol.Leader else Protocol.Defeated
+
+let protocol = { Protocol.name = "quantitative-max"; quantitative = true; main }

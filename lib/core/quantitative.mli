@@ -1,0 +1,10 @@
+(** The universal election protocol of the quantitative world
+    (Section 1.3): collect all labels during a traversal, elect the
+    maximum.
+
+    Agents carry comparable identities ([ctx.rank]); each posts its label
+    at its home-base, traverses the network collecting everyone's label,
+    and elects the maximum. Works on every network and every placement —
+    the paper's Table 1 "quantitative / universal: Yes" row. *)
+
+val protocol : Qe_runtime.Protocol.t

@@ -1,0 +1,47 @@
+let render ?labeling g is_black =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "graph G {\n  node [shape=circle];\n";
+  for u = 0 to Graph.n g - 1 do
+    let style =
+      if is_black u then " [style=filled, fillcolor=black, fontcolor=white]"
+      else ""
+    in
+    Buffer.add_string buf (Printf.sprintf "  %d%s;\n" u style)
+  done;
+  (* Emit each edge once, from its endpoint record; find the two port
+     indices to print end labels. *)
+  List.iteri
+    (fun e (u, v) ->
+      let label_attr =
+        match labeling with
+        | None -> ""
+        | Some l ->
+            let find_port w =
+              let rec go i =
+                if (Graph.dart g w i).edge = e then i else go (i + 1)
+              in
+              go 0
+            in
+            let pu = find_port u in
+            let pv =
+              if u = v then
+                (* loop: the second port carrying this edge id *)
+                let rec go i =
+                  if i <> find_port u && (Graph.dart g v i).edge = e then i
+                  else go (i + 1)
+                in
+                go 0
+              else find_port v
+            in
+            Printf.sprintf " [taillabel=\"%d\", headlabel=\"%d\"]"
+              (Labeling.symbol l u pu) (Labeling.symbol l v pv)
+      in
+      Buffer.add_string buf (Printf.sprintf "  %d -- %d%s;\n" u v label_attr))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let graph ?labeling g = render ?labeling g (fun _ -> false)
+
+let bicolored ?labeling b =
+  render ?labeling (Bicolored.graph b) (Bicolored.is_black b)

@@ -1,0 +1,8 @@
+(** Graphviz output, for documentation and debugging. *)
+
+val graph : ?labeling:Labeling.t -> Graph.t -> string
+(** DOT source for a graph; when a labeling is given, edge ends are
+    annotated with their symbols (as [taillabel]/[headlabel]). *)
+
+val bicolored : ?labeling:Labeling.t -> Bicolored.t -> string
+(** Same, with home-bases filled black. *)

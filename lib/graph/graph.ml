@@ -1,0 +1,87 @@
+type dart = { dst : int; dst_port : int; edge : int }
+
+type t = {
+  n : int;
+  m : int;
+  ports : dart array array;
+  edge_list : (int * int) array;
+}
+
+let of_edges ~n edges =
+  if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
+  let check u =
+    if u < 0 || u >= n then
+      invalid_arg (Printf.sprintf "Graph.of_edges: endpoint %d out of range" u)
+  in
+  List.iter (fun (u, v) -> check u; check v) edges;
+  let edge_list = Array.of_list edges in
+  let m = Array.length edge_list in
+  let bufs = Array.init n (fun _ -> ref []) in
+  let push u d = bufs.(u) := d :: !(bufs.(u)) in
+  (* First pass assigns port indices in order of appearance. *)
+  let deg = Array.make n 0 in
+  let slots =
+    Array.mapi
+      (fun e (u, v) ->
+        let pu = deg.(u) in
+        deg.(u) <- deg.(u) + 1;
+        let pv = deg.(v) in
+        deg.(v) <- deg.(v) + 1;
+        (e, u, pu, v, pv))
+      edge_list
+  in
+  Array.iter
+    (fun (e, u, pu, v, pv) ->
+      push u { dst = v; dst_port = pv; edge = e };
+      push v { dst = u; dst_port = pu; edge = e })
+    slots;
+  let ports = Array.map (fun buf -> Array.of_list (List.rev !buf)) bufs in
+  { n; m; ports; edge_list }
+
+let n g = g.n
+let m g = g.m
+let degree g u = Array.length g.ports.(u)
+
+let max_degree g =
+  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.ports
+
+let dart g u i =
+  if i < 0 || i >= degree g u then invalid_arg "Graph.dart: port out of range";
+  g.ports.(u).(i)
+
+let darts g u = Array.copy g.ports.(u)
+let neighbors g u = Array.to_list (Array.map (fun d -> d.dst) g.ports.(u))
+let edges g = Array.to_list g.edge_list
+let edge_endpoints g e = g.edge_list.(e)
+
+let fold_darts g ~init ~f =
+  let acc = ref init in
+  for u = 0 to g.n - 1 do
+    Array.iteri (fun i d -> acc := f !acc u i d) g.ports.(u)
+  done;
+  !acc
+
+let is_simple g =
+  let ok = ref true in
+  Array.iter
+    (fun (u, v) -> if u = v then ok := false)
+    g.edge_list;
+  if !ok then begin
+    let seen = Hashtbl.create (2 * g.m) in
+    Array.iter
+      (fun (u, v) ->
+        let key = (min u v, max u v) in
+        if Hashtbl.mem seen key then ok := false else Hashtbl.add seen key ())
+      g.edge_list
+  end;
+  !ok
+
+let equal_structure a b =
+  a.n = b.n && a.edge_list = b.edge_list
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n g.m;
+  Array.iteri
+    (fun e (u, v) -> Format.fprintf ppf "  e%d: %d -- %d@," e u v)
+    g.edge_list;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** Anonymous networks: connected undirected multigraphs with ports.
+
+    Nodes are unlabeled — the integer node ids of this module are simulator
+    bookkeeping that no protocol ever observes. Each node has [deg] ports
+    (dart endpoints); loops and parallel edges are supported (the paper's
+    Figure 2(c) uses both). Port labels live in {!Labeling}, separate from
+    the structure, because a single structure admits many labelings and
+    protocols must work under all of them. *)
+
+type t
+(** An undirected multigraph. Immutable once built. *)
+
+type dart = { dst : int; dst_port : int; edge : int }
+(** One endpoint's view of an incident edge: the opposite endpoint [dst],
+    the port index this edge occupies at [dst], and a global edge id. *)
+
+val of_edges : n:int -> (int * int) list -> t
+(** [of_edges ~n edges] builds the multigraph on nodes [0 .. n-1] with the
+    given edge list. Edges are assigned ids in list order; ports are
+    assigned per node in order of appearance. A loop [(u, u)] occupies two
+    ports at [u].
+    @raise Invalid_argument on out-of-range endpoints or [n <= 0]. *)
+
+val n : t -> int
+(** Number of nodes. *)
+
+val m : t -> int
+(** Number of edges (a loop counts once). *)
+
+val degree : t -> int -> int
+(** [degree g u] is the number of ports at [u] (a loop contributes 2). *)
+
+val max_degree : t -> int
+
+val dart : t -> int -> int -> dart
+(** [dart g u i] is the dart at port [i] of node [u].
+    @raise Invalid_argument if [i] is out of range. *)
+
+val darts : t -> int -> dart array
+(** All darts at a node, indexed by port. The array is fresh. *)
+
+val neighbors : t -> int -> int list
+(** Opposite endpoints of all ports at [u], with multiplicity, in port
+    order. *)
+
+val edges : t -> (int * int) list
+(** The edge list, in edge-id order, with endpoints as given at build time. *)
+
+val edge_endpoints : t -> int -> int * int
+(** Endpoints of an edge id. *)
+
+val fold_darts : t -> init:'a -> f:('a -> int -> int -> dart -> 'a) -> 'a
+(** [fold_darts g ~init ~f] folds [f acc u i d] over every dart (node [u],
+    port [i]). *)
+
+val is_simple : t -> bool
+(** No loops and no parallel edges. *)
+
+val equal_structure : t -> t -> bool
+(** Same node count and identical port tables — structural identity, not
+    isomorphism. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,84 @@
+type t = { graph : Graph.t; table : int array array }
+
+let validate g table =
+  for u = 0 to Graph.n g - 1 do
+    let syms = table.(u) in
+    let seen = Hashtbl.create 8 in
+    Array.iter
+      (fun s ->
+        if Hashtbl.mem seen s then
+          invalid_arg
+            (Printf.sprintf
+               "Labeling: node %d carries symbol %d on two ports" u s)
+        else Hashtbl.add seen s ())
+      syms
+  done
+
+let make g f =
+  let table = Array.init (Graph.n g) (fun u -> Array.init (Graph.degree g u) (f u)) in
+  validate g table;
+  { graph = g; table }
+
+let of_function = make
+let standard g = make g (fun _ i -> i)
+
+let shuffled ~seed g =
+  let st = Random.State.make [| seed; Graph.n g; Graph.m g |] in
+  (* Draw, per node, [deg] distinct symbols from a pool that is a few times
+     larger than the max degree, so symbols repeat across nodes (as symbols
+     from one alphabet would) while staying distinct within a node. *)
+  let pool = max 4 (4 * Graph.max_degree g) in
+  let table =
+    Array.init (Graph.n g) (fun u ->
+        let deg = Graph.degree g u in
+        let chosen = Hashtbl.create 8 in
+        Array.init deg (fun _ ->
+            let rec draw () =
+              let s = Random.State.int st pool in
+              if Hashtbl.mem chosen s then draw ()
+              else begin
+                Hashtbl.add chosen s ();
+                s
+              end
+            in
+            draw ()))
+  in
+  { graph = g; table }
+
+let symbol l u i = l.table.(u).(i)
+
+let symbol_of_dart l ~src:_ (d : Graph.dart) = l.table.(d.dst).(d.dst_port)
+
+let port_of_symbol l u s =
+  let syms = l.table.(u) in
+  let rec go i =
+    if i >= Array.length syms then None
+    else if syms.(i) = s then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let graph l = l.graph
+
+let num_symbols l =
+  let seen = Hashtbl.create 16 in
+  Array.iter (Array.iter (fun s -> Hashtbl.replace seen s ())) l.table;
+  Hashtbl.length seen
+
+let symbols_at l u = Array.copy l.table.(u)
+
+let check l =
+  try
+    validate l.graph l.table;
+    true
+  with Invalid_argument _ -> false
+
+let pp ppf l =
+  Format.fprintf ppf "@[<v>labeling@,";
+  Array.iteri
+    (fun u syms ->
+      Format.fprintf ppf "  node %d: %s@," u
+        (String.concat " "
+           (Array.to_list (Array.map string_of_int syms))))
+    l.table;
+  Format.fprintf ppf "@]"

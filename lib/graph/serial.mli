@@ -1,0 +1,31 @@
+(** A small textual format for election instances, so experiments can be
+    saved, shared and replayed.
+
+    {v
+    qelect-instance v1
+    nodes 5
+    edges
+    0 1
+    1 2
+    ...
+    labeling          # optional: one line per node, symbols by port
+    0: 0 1
+    ...
+    agents 0 3        # optional home-bases
+    v}
+
+    Lines starting with [#] and blank lines are ignored; a [#] inside a
+    line starts a comment. *)
+
+type instance = {
+  graph : Graph.t;
+  labeling : Labeling.t option;
+  black : int list;  (** empty when the file declares no agents *)
+}
+
+val to_string : ?labeling:Labeling.t -> ?black:int list -> Graph.t -> string
+val of_string : string -> instance
+(** @raise Failure with a line-numbered message on malformed input. *)
+
+val save : path:string -> ?labeling:Labeling.t -> ?black:int list -> Graph.t -> unit
+val load : path:string -> instance

@@ -1,0 +1,121 @@
+let bfs_distances g src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  dist.(src) <- 0;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun (d : Graph.dart) ->
+        if dist.(d.dst) = max_int then begin
+          dist.(d.dst) <- dist.(u) + 1;
+          Queue.add d.dst q
+        end)
+      (Graph.darts g u)
+  done;
+  dist
+
+let eccentricity g u =
+  Array.fold_left
+    (fun acc d -> if d = max_int then acc else max acc d)
+    0 (bfs_distances g u)
+
+let is_connected g =
+  let dist = bfs_distances g 0 in
+  Array.for_all (fun d -> d <> max_int) dist
+
+let diameter g =
+  if not (is_connected g) then invalid_arg "Traverse.diameter: disconnected";
+  let best = ref 0 in
+  for u = 0 to Graph.n g - 1 do
+    best := max !best (eccentricity g u)
+  done;
+  !best
+
+let dfs_preorder g src =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let order = ref [] in
+  let rec go u =
+    seen.(u) <- true;
+    order := u :: !order;
+    Array.iter (fun (d : Graph.dart) -> if not seen.(d.dst) then go d.dst)
+      (Graph.darts g u)
+  in
+  go src;
+  List.rev !order
+
+let require_connected g name =
+  if not (is_connected g) then invalid_arg (name ^ ": disconnected graph")
+
+(* DFS over the spanning tree; each tree edge contributes a down-step and,
+   on the way back, an up-step (the reverse port). *)
+let closed_node_walk g src =
+  require_connected g "Traverse.closed_node_walk";
+  let seen = Array.make (Graph.n g) false in
+  let walk = ref [] in
+  let rec go u =
+    seen.(u) <- true;
+    Array.iteri
+      (fun i (d : Graph.dart) ->
+        if not seen.(d.dst) then begin
+          walk := i :: !walk;
+          go d.dst;
+          walk := d.dst_port :: !walk
+        end)
+      (Graph.darts g u)
+  in
+  go src;
+  List.rev !walk
+
+(* Walk every dart: at each node, take each untaken port; traversing a port
+   either discovers a new node (recurse) or immediately comes back. Each
+   edge is crossed exactly twice, once per direction. *)
+let closed_edge_walk g src =
+  require_connected g "Traverse.closed_edge_walk";
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let tree_edge = Array.make (Graph.m g) false in
+  let walk = ref [] in
+  let rec go u =
+    seen.(u) <- true;
+    Array.iteri
+      (fun i (d : Graph.dart) ->
+        if not seen.(d.dst) then begin
+          tree_edge.(d.edge) <- true;
+          walk := i :: !walk;
+          go d.dst;
+          walk := d.dst_port :: !walk
+        end
+        else if
+          (* Cross each non-tree edge (and loop) as a single round trip,
+             initiated from the lexicographically smaller dart so it happens
+             exactly once; tree edges already contribute their two steps. *)
+          (not tree_edge.(d.edge)) && (u, i) < (d.dst, d.dst_port)
+        then begin
+          walk := i :: !walk;
+          walk := d.dst_port :: !walk
+        end)
+      (Graph.darts g u)
+  in
+  go src;
+  List.rev !walk
+
+let walk_endpoint g src walk =
+  List.fold_left
+    (fun u i ->
+      if i < 0 || i >= Graph.degree g u then
+        invalid_arg "Traverse.walk_endpoint: illegal port";
+      (Graph.dart g u i).dst)
+    src walk
+
+let walk_nodes g src walk =
+  let rec go u = function
+    | [] -> [ u ]
+    | i :: tl ->
+        if i < 0 || i >= Graph.degree g u then
+          invalid_arg "Traverse.walk_nodes: illegal port";
+        u :: go (Graph.dart g u i).dst tl
+  in
+  go src walk

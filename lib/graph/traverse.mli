@@ -1,0 +1,33 @@
+(** Traversals, distances and covering walks. *)
+
+val bfs_distances : Graph.t -> int -> int array
+(** Distances from a source; unreachable nodes get [max_int]. *)
+
+val eccentricity : Graph.t -> int -> int
+val diameter : Graph.t -> int
+(** @raise Invalid_argument if the graph is disconnected. *)
+
+val is_connected : Graph.t -> bool
+
+val dfs_preorder : Graph.t -> int -> int list
+(** Nodes in depth-first preorder from a source, exploring ports in index
+    order. *)
+
+val closed_node_walk : Graph.t -> int -> int list
+(** A closed walk (list of port indices to take, in order) from the source
+    that visits every node and returns to the source, by walking a DFS
+    spanning tree down and up — length [2(n-1)] steps on a connected graph.
+    @raise Invalid_argument if disconnected. *)
+
+val closed_edge_walk : Graph.t -> int -> int list
+(** A closed walk from the source that traverses {e every edge} at least
+    once (each edge exactly twice, once per direction) and returns —
+    length [2m]. This is the walk MAP-DRAWING uses.
+    @raise Invalid_argument if disconnected. *)
+
+val walk_endpoint : Graph.t -> int -> int list -> int
+(** Follow a port-index walk from a node; returns the final node.
+    @raise Invalid_argument on an illegal port. *)
+
+val walk_nodes : Graph.t -> int -> int list -> int list
+(** Nodes visited along a walk, starting node included. *)

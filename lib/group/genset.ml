@@ -1,0 +1,31 @@
+type t = { group : Group.t; elements : int list }
+
+let make group gens =
+  if gens = [] then invalid_arg "Genset.make: empty generating set";
+  List.iter
+    (fun s ->
+      if s <= 0 || s >= Group.order group then
+        invalid_arg "Genset.make: generator out of range (or identity)")
+    gens;
+  let with_inv = List.concat_map (fun s -> [ s; Group.inv group s ]) gens in
+  let elements = List.sort_uniq compare with_inv in
+  if not (Group.generates group elements) then
+    invalid_arg "Genset.make: set does not generate the group";
+  { group; elements }
+
+let group t = t.group
+let elements t = t.elements
+let size t = List.length t.elements
+let mem t s = List.mem s t.elements
+let involutions t = List.filter (Group.is_involution t.group) t.elements
+
+let non_involutions t =
+  List.filter (fun s -> not (Group.is_involution t.group s)) t.elements
+
+let all_non_identity group =
+  make group (List.filter (fun a -> a <> 0) (Group.elements group))
+
+let pp ppf t =
+  Format.fprintf ppf "{%s}"
+    (String.concat ", "
+       (List.map (Group.elt_name t.group) t.elements))

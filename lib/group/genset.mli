@@ -1,0 +1,22 @@
+(** Generating sets [S] with [S = S⁻¹], as required by Definition 1.2. *)
+
+type t
+
+val make : Group.t -> int list -> t
+(** Validates and normalises a candidate generating set: the identity is
+    rejected, duplicates removed, inverses added (the paper assumes
+    [S = S⁻¹]), and the set must generate the group.
+    @raise Invalid_argument otherwise. *)
+
+val group : t -> Group.t
+val elements : t -> int list
+(** Sorted, duplicate-free, closed under inverse, identity-free. *)
+
+val size : t -> int
+val mem : t -> int -> bool
+val involutions : t -> int list
+val non_involutions : t -> int list
+val all_non_identity : Group.t -> t
+(** The full generating set [Γ \ {id}] — gives the complete graph. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,441 @@
+module Graph = Qe_graph.Graph
+module Labeling = Qe_graph.Labeling
+module Color = Qe_color.Color
+module Symbol = Qe_color.Symbol
+
+type strategy =
+  | Round_robin
+  | Random_fair of int
+  | Lifo
+  | Fifo_mailbox
+  | Synchronous
+
+type agent_stats = {
+  moves : int;
+  posts : int;
+  erases : int;
+  reads : int;
+  turns : int;
+}
+
+type outcome =
+  | Elected of Color.t
+  | Declared_unsolvable
+  | Deadlock
+  | Step_limit
+  | Inconsistent of string
+
+type result = {
+  outcome : outcome;
+  verdicts : (Color.t * Protocol.verdict) list;
+  per_agent : (Color.t * agent_stats) list;
+  final_locations : (Color.t * int) list;
+  total_moves : int;
+  total_accesses : int;
+  scheduler_turns : int;
+}
+
+let home_tag = "home-base"
+
+type resume =
+  | Start
+  | Resume of (Protocol.observation, unit) Effect.Deep.continuation
+
+type status =
+  | Asleep
+  | Ready of resume
+  | Waiting of (Protocol.observation, unit) Effect.Deep.continuation * int
+  | Finished of Protocol.verdict
+
+type agent = {
+  idx : int;
+  color : Color.t;
+  home : int;
+  mutable loc : int;
+  mutable entry : Symbol.t option;
+  mutable status : status;
+  mutable last_enabled : int;
+  mutable moves : int;
+  mutable posts : int;
+  mutable erases : int;
+  mutable reads : int;
+  mutable turns : int;
+}
+
+type event =
+  | Woke of { agent : Color.t }
+  | Moved of { agent : Color.t; from_node : int; to_node : int }
+  | Posted of { agent : Color.t; node : int; tag : string }
+  | Erased of { agent : Color.t; node : int; tag : string; count : int }
+  | Halted of { agent : Color.t; verdict : Protocol.verdict }
+
+let pp_event ppf = function
+  | Woke { agent } -> Format.fprintf ppf "%a wakes" Color.pp agent
+  | Moved { agent; from_node; to_node } ->
+      Format.fprintf ppf "%a moves %d -> %d" Color.pp agent from_node to_node
+  | Posted { agent; node; tag } ->
+      Format.fprintf ppf "%a posts %s at %d" Color.pp agent tag node
+  | Erased { agent; node; tag; count } ->
+      Format.fprintf ppf "%a erases %dx %s at %d" Color.pp agent count tag
+        node
+  | Halted { agent; verdict } ->
+      Format.fprintf ppf "%a halts: %a" Color.pp agent Protocol.pp_verdict
+        verdict
+
+type state = {
+  world : World.t;
+  boards : Whiteboard.t array;
+  agents : agent array;
+  seed : int;
+  on_event : event -> unit;
+  mutable clock : int;  (* bumps on every enablement change *)
+}
+
+let enable st a resume_status =
+  st.clock <- st.clock + 1;
+  a.last_enabled <- st.clock;
+  a.status <- resume_status
+
+(* Agent-specific presentation order of the ports at a node. *)
+let presentation_order st a node =
+  let deg = Graph.degree (World.graph st.world) node in
+  let perm = Array.init deg Fun.id in
+  let rng = Random.State.make [| st.seed; 0x9e11; a.idx; node |] in
+  for i = deg - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  perm
+
+let make_obs st a =
+  a.reads <- a.reads + 1;
+  let node = a.loc in
+  let labeling = World.labeling st.world in
+  let perm = presentation_order st a node in
+  let ports =
+    Array.to_list
+      (Array.map
+         (fun i -> World.symbol_of st.world (Labeling.symbol labeling node i))
+         perm)
+  in
+  {
+    Protocol.degree = Array.length perm;
+    ports;
+    entry = a.entry;
+    board = Whiteboard.signs st.boards.(node);
+  }
+
+let wake_sleepers_at st node =
+  Array.iter
+    (fun b ->
+      match b.status with
+      | Asleep when b.home = node ->
+          st.on_event (Woke { agent = b.color });
+          enable st b (Ready Start)
+      | _ -> ())
+    st.agents
+
+let do_post st a tag body =
+  a.posts <- a.posts + 1;
+  Whiteboard.post st.boards.(a.loc)
+    (Sign.make ~color:a.color ~tag ~body ());
+  st.on_event (Posted { agent = a.color; node = a.loc; tag });
+  wake_sleepers_at st a.loc
+
+let do_erase st a tag =
+  a.erases <- a.erases + 1;
+  let count = Whiteboard.erase st.boards.(a.loc) ~color:a.color ~tag in
+  st.on_event (Erased { agent = a.color; node = a.loc; tag; count });
+  count
+
+let do_move st a sym =
+  let labeling = World.labeling st.world in
+  match
+    Labeling.port_of_symbol labeling a.loc (World.int_of_symbol st.world sym)
+  with
+  | None -> Error "moved through a symbol absent from this node"
+  | exception Not_found -> Error "moved through an unknown symbol"
+  | Some port ->
+      let d = Graph.dart (World.graph st.world) a.loc port in
+      let from_node = a.loc in
+      a.loc <- d.dst;
+      a.entry <-
+        Some
+          (World.symbol_of st.world
+             (Labeling.symbol labeling d.dst d.dst_port));
+      a.moves <- a.moves + 1;
+      st.on_event (Moved { agent = a.color; from_node; to_node = d.dst });
+      Ok ()
+
+let finish st a v =
+  a.status <- Finished v;
+  st.on_event (Halted { agent = a.color; verdict = v })
+
+let start_agent st a (proto : Protocol.t) =
+  let ctx =
+    {
+      Protocol.color = a.color;
+      rank = (if proto.quantitative then Some a.idx else None);
+    }
+  in
+  let open Effect.Deep in
+  match_with
+    (fun () ->
+      let v = proto.main ctx in
+      finish st a v)
+    ()
+    {
+      retc = Fun.id;
+      exnc =
+        (fun e -> finish st a (Aborted (Printexc.to_string e)));
+      effc =
+        (fun (type b) (eff : b Effect.t) ->
+          match eff with
+          | Script.Internal.Observe ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  continue k (make_obs st a))
+          | Script.Internal.Post (tag, body) ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  do_post st a tag body;
+                  continue k ())
+          | Script.Internal.Erase tag ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  continue k (do_erase st a tag))
+          | Script.Internal.Move sym ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  match do_move st a sym with
+                  | Ok () -> enable st a (Ready (Resume k))
+                  | Error msg -> finish st a (Aborted msg))
+          | Script.Internal.Wait ->
+              Some
+                (fun (k : (b, unit) continuation) ->
+                  a.status <-
+                    Waiting (k, Whiteboard.revision st.boards.(a.loc)))
+          | Script.Internal.Halt v ->
+              Some (fun (_k : (b, unit) continuation) -> finish st a v)
+          | _ -> None);
+    }
+
+let runnable st a =
+  match a.status with
+  | Ready _ -> true
+  | Waiting (_, rev) -> Whiteboard.revision st.boards.(a.loc) > rev
+  | Asleep | Finished _ -> false
+
+let take_turn st proto a =
+  a.turns <- a.turns + 1;
+  match a.status with
+  | Ready Start ->
+      a.status <- Finished (Aborted "re-entered");
+      (* placeholder replaced by the real verdict inside start_agent *)
+      start_agent st a proto
+  | Ready (Resume k) ->
+      a.status <- Finished (Aborted "re-entered");
+      Effect.Deep.continue k (make_obs st a)
+  | Waiting (k, _) ->
+      a.status <- Finished (Aborted "re-entered");
+      Effect.Deep.continue k (make_obs st a)
+  | Asleep | Finished _ -> assert false
+
+let pick_agent st strategy rr_cursor rng =
+  let n = Array.length st.agents in
+  let candidates =
+    Array.to_list st.agents |> List.filter (fun a -> runnable st a)
+  in
+  match candidates with
+  | [] -> None
+  | _ -> (
+      match strategy with
+      | Round_robin ->
+          let rec find offset =
+            let a = st.agents.((!rr_cursor + offset) mod n) in
+            if runnable st a then begin
+              rr_cursor := (a.idx + 1) mod n;
+              Some a
+            end
+            else find (offset + 1)
+          in
+          find 0
+      | Random_fair _ ->
+          let len = List.length candidates in
+          Some (List.nth candidates (Random.State.int rng len))
+      | Lifo ->
+          (* Most-recently-enabled first, with a fairness injection: every
+             16th pick goes to the oldest-enabled agent instead, so no
+             agent starves (the model assumes fair scheduling). *)
+          if st.clock mod 16 = 0 then
+            Some
+              (List.fold_left
+                 (fun best a ->
+                   if a.last_enabled < best.last_enabled then a else best)
+                 (List.hd candidates) candidates)
+          else
+            Some
+              (List.fold_left
+                 (fun best a ->
+                   if a.last_enabled > best.last_enabled then a else best)
+                 (List.hd candidates) candidates)
+      | Fifo_mailbox ->
+          Some
+            (List.fold_left
+               (fun best a ->
+                 if a.last_enabled < best.last_enabled then a else best)
+               (List.hd candidates) candidates)
+      | Synchronous ->
+          (* handled by the round loop in [run]; fallback here *)
+          Some (List.hd candidates))
+
+let collect_result st max_turns_hit turns =
+  let verdicts =
+    Array.to_list st.agents
+    |> List.map (fun a ->
+           ( a.color,
+             match a.status with
+             | Finished v -> v
+             | _ -> Protocol.Aborted "still running" ))
+  in
+  let all_done =
+    Array.for_all
+      (fun a -> match a.status with Finished _ -> true | _ -> false)
+      st.agents
+  in
+  let outcome =
+    if max_turns_hit then Step_limit
+    else if not all_done then Deadlock
+    else
+      let leaders =
+        List.filter (fun (_, v) -> v = Protocol.Leader) verdicts
+      in
+      let failed =
+        List.filter (fun (_, v) -> v = Protocol.Election_failed) verdicts
+      in
+      let aborted =
+        List.filter
+          (fun (_, v) ->
+            match v with Protocol.Aborted _ -> true | _ -> false)
+          verdicts
+      in
+      match (leaders, failed, aborted) with
+      | _, _, _ :: _ ->
+          Inconsistent
+            (Printf.sprintf "%d agents aborted" (List.length aborted))
+      | [ (c, _) ], [], [] -> Elected c
+      | [], fs, [] when List.length fs = Array.length st.agents ->
+          Declared_unsolvable
+      | _ ->
+          Inconsistent
+            (Printf.sprintf "%d leaders, %d failed" (List.length leaders)
+               (List.length failed))
+  in
+  let per_agent =
+    Array.to_list st.agents
+    |> List.map (fun a ->
+           ( a.color,
+             {
+               moves = a.moves;
+               posts = a.posts;
+               erases = a.erases;
+               reads = a.reads;
+               turns = a.turns;
+             } ))
+  in
+  let total_moves =
+    Array.fold_left (fun acc a -> acc + a.moves) 0 st.agents
+  in
+  let total_accesses =
+    Array.fold_left (fun acc a -> acc + a.posts + a.erases + a.reads) 0
+      st.agents
+  in
+  let final_locations =
+    Array.to_list st.agents |> List.map (fun a -> (a.color, a.loc))
+  in
+  { outcome; verdicts; per_agent; final_locations; total_moves;
+    total_accesses; scheduler_turns = turns }
+
+let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
+    ?(on_event = fun _ -> ()) world proto =
+  let strategy =
+    match strategy with Some s -> s | None -> Random_fair seed
+  in
+  let g = World.graph world in
+  let boards = Array.init (Graph.n g) (fun _ -> Whiteboard.create ()) in
+  let agents =
+    Array.init (World.num_agents world) (fun i ->
+        {
+          idx = i;
+          color = World.color_of_agent world i;
+          home = World.home_of_agent world i;
+          loc = World.home_of_agent world i;
+          entry = None;
+          status = Asleep;
+          last_enabled = 0;
+          moves = 0;
+          posts = 0;
+          erases = 0;
+          reads = 0;
+          turns = 0;
+        })
+  in
+  let st = { world; boards; agents; seed; on_event; clock = 0 } in
+  (* The environment marks every home-base with a sign of the owner's
+     color before anything runs. *)
+  Array.iter
+    (fun a ->
+      Whiteboard.post boards.(a.home)
+        (Sign.make ~color:a.color ~tag:home_tag ()))
+    agents;
+  let awake =
+    match awake with
+    | Some l -> l
+    | None -> List.init (Array.length agents) Fun.id
+  in
+  if awake = [] then invalid_arg "Engine.run: at least one agent must wake";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length agents then
+        invalid_arg "Engine.run: awake index out of range";
+      enable st agents.(i) (Ready Start))
+    awake;
+  let rng =
+    match strategy with
+    | Random_fair s -> Random.State.make [| s; 0xfa12 |]
+    | _ -> Random.State.make [| seed |]
+  in
+  let rr_cursor = ref 0 in
+  let turns = ref 0 in
+  let max_hit = ref false in
+  (match strategy with
+  | Synchronous ->
+      let continue_running = ref true in
+      while !continue_running && not !max_hit do
+        let round =
+          Array.to_list st.agents |> List.filter (fun a -> runnable st a)
+        in
+        if round = [] then continue_running := false
+        else
+          List.iter
+            (fun a ->
+              if runnable st a && not !max_hit then begin
+                incr turns;
+                if !turns > max_turns then max_hit := true
+                else take_turn st proto a
+              end)
+            round
+      done
+  | _ ->
+      let continue_running = ref true in
+      while !continue_running && not !max_hit do
+        match pick_agent st strategy rr_cursor rng with
+        | None -> continue_running := false
+        | Some a ->
+            incr turns;
+            if !turns > max_turns then max_hit := true
+            else take_turn st proto a
+      done);
+  collect_result st !max_hit !turns

@@ -1,0 +1,93 @@
+(** The discrete-event execution engine.
+
+    Agents are coroutines (OCaml effects): a scheduler turn resumes one
+    agent, which runs atomically until it moves, waits, or halts. Any fair
+    interleaving of such turns is a legal asynchronous execution of the
+    paper's model; the scheduler strategies below give reproducible
+    (seeded) or adversarial interleavings.
+
+    Asleep agents (all agents not in [awake]) do not run until the
+    whiteboard of their home-base changes — being "woken up" by a visiting
+    agent's sign, as in MAP-DRAWING. At setup the engine marks every
+    home-base with a ["home-base"] sign of the owner's color, exactly the
+    initial marking the paper posits. *)
+
+type strategy =
+  | Round_robin  (** cycle through agents fairly *)
+  | Random_fair of int  (** seeded uniform choice among runnable agents *)
+  | Lifo
+      (** most-recently-enabled agent first, with a periodic fairness
+          injection (every 16th pick goes to the oldest-enabled agent) —
+          adversarial in flavor but fair, as the model requires *)
+  | Fifo_mailbox
+      (** oldest-enabled first: the message-passing discipline of the
+          Figure 1 transformation (an agent parked at a node is a queued
+          message [(P, M)]) *)
+  | Synchronous
+      (** lock-step rounds: every runnable agent takes one turn per round
+          — the adversary used in the paper's impossibility arguments *)
+
+type agent_stats = {
+  moves : int;
+  posts : int;
+  erases : int;
+  reads : int;
+  turns : int;
+}
+
+type outcome =
+  | Elected of Qe_color.Color.t
+      (** exactly one leader; everyone else defeated *)
+  | Declared_unsolvable  (** all agents report the election impossible *)
+  | Deadlock  (** no agent can run and some are not done *)
+  | Step_limit  (** the turn budget ran out *)
+  | Inconsistent of string  (** contradictory verdicts — a protocol bug *)
+
+type result = {
+  outcome : outcome;
+  verdicts : (Qe_color.Color.t * Protocol.verdict) list;
+  per_agent : (Qe_color.Color.t * agent_stats) list;
+  final_locations : (Qe_color.Color.t * int) list;
+      (** where each agent halted (world node ids — for oracles and tests;
+          protocols never see these) *)
+  total_moves : int;
+  total_accesses : int;  (** posts + erases + board reads *)
+  scheduler_turns : int;
+}
+
+type event =
+  | Woke of { agent : Qe_color.Color.t }
+  | Moved of { agent : Qe_color.Color.t; from_node : int; to_node : int }
+  | Posted of { agent : Qe_color.Color.t; node : int; tag : string }
+  | Erased of {
+      agent : Qe_color.Color.t;
+      node : int;
+      tag : string;
+      count : int;
+    }
+  | Halted of { agent : Qe_color.Color.t; verdict : Protocol.verdict }
+      (** Execution events, in scheduler order. Node ids are world-side
+          (diagnostics only). *)
+
+val pp_event : Format.formatter -> event -> unit
+
+val run :
+  ?strategy:strategy ->
+  ?seed:int ->
+  ?max_turns:int ->
+  ?awake:int list ->
+  ?on_event:(event -> unit) ->
+  World.t ->
+  Protocol.t ->
+  result
+(** [run world protocol] executes one agent per home-base.
+    [strategy] defaults to [Random_fair seed]; [seed] defaults to 0;
+    [max_turns] to 2_000_000; [awake] (agent indices) to all agents.
+
+    Port symbols are presented to each agent in an agent-specific shuffled
+    order derived from [seed], so no global symbol order leaks. For a
+    quantitative protocol, [ctx.rank] is the agent index; for a
+    qualitative one it is [None]. *)
+
+val home_tag : string
+(** The tag of the setup-time home-base marks ("home-base"). *)

@@ -1,0 +1,55 @@
+(** Anonymous processor networks — the message-passing side of Figure 1.
+
+    Theorem 2.1 transfers mobile-agent impossibility to Yamashita–Kameda's
+    processor-network theory. This module provides that substrate: a
+    synchronous message-passing simulator over a port-labeled anonymous
+    network, plus the two classic protocols the paper leans on:
+
+    - {!View_election}: the YK algorithm — processors grow their views
+      round by round, then elect the processor whose view is the unique
+      [≺]-maximum among all views occurring in the network. It elects a
+      unique leader iff the view-symmetricity [σ_ℓ(G) = 1], reproducing
+      YK's characterization (and hence the "only if" of Theorem 2.1).
+    - {!Flooding_max}: the quantitative baseline — flood the maximum
+      identifier; always elects when processors carry distinct comparable
+      ids.
+
+    Views are hash-consed into a DAG shared by the simulator: a message
+    nominally carries a serialized view tree; the shared intern table is
+    the simulation-level compression of those trees (ids are equal exactly
+    when the trees are), keeping depth-[2(n-1)] views polynomial-size. *)
+
+type verdict = Leader | Defeated | Undecided
+
+type outcome = {
+  verdicts : verdict array;  (** per processor *)
+  rounds : int;
+  messages : int;  (** total messages delivered *)
+}
+
+val unique_leader : outcome -> int option
+(** The elected processor, if exactly one declared [Leader] and the rest
+    [Defeated]. *)
+
+module View_election : sig
+  val run : Qe_graph.Labeling.t -> outcome
+  (** Anonymous (no identifiers). Processors know [n] (as YK assume). Runs
+      [2(n-1)] view-growing rounds, then decides locally. *)
+end
+
+module Flooding_max : sig
+  val run : ?ids:int array -> Qe_graph.Labeling.t -> outcome
+  (** Quantitative world: distinct comparable ids (default [0..n-1]).
+      Floods the maximum for [n] rounds; the holder wins. *)
+end
+
+module Async_flooding : sig
+  val run : ?seed:int -> ?ids:int array -> Qe_graph.Labeling.t -> outcome
+  (** The same election under a genuinely {e asynchronous} adversary: every
+      in-flight message sits in one bag and a seeded adversary picks the
+      delivery order. This is the message-passing model the Figure 1
+      transformation targets. Termination is detected by quiescence (the
+      simulator sees the empty bag — in a real network this would be a
+      termination-detection layer); correctness is
+      delivery-order-independent, which the tests check across seeds. *)
+end

@@ -1,0 +1,22 @@
+module Internal = struct
+  type _ Effect.t +=
+    | Observe : Protocol.observation Effect.t
+    | Move : Qe_color.Symbol.t -> Protocol.observation Effect.t
+    | Post : string * string -> unit Effect.t
+    | Erase : string -> int Effect.t
+    | Wait : Protocol.observation Effect.t
+    | Halt : Protocol.verdict -> unit Effect.t
+end
+
+open Internal
+
+let observe () = Effect.perform Observe
+let move s = Effect.perform (Move s)
+let post ~tag ?(body = "") () = Effect.perform (Post (tag, body))
+let erase ~tag = Effect.perform (Erase tag)
+let wait () = Effect.perform Wait
+
+let halt v =
+  Effect.perform (Halt v);
+  (* the engine never resumes a halted agent *)
+  assert false

@@ -1,0 +1,41 @@
+(** The operations an agent program may perform, implemented as OCaml
+    effects handled by the engine.
+
+    Everything between two yielding operations ({!move}, {!wait}) happens
+    within a single atomic node visit — whiteboard access in mutual
+    exclusion, as the model requires. These functions are only meaningful
+    inside a protocol's [main] running under {!Engine.run}. *)
+
+val observe : unit -> Protocol.observation
+(** Re-read the current node (degree, ports, entry port, whiteboard). *)
+
+val move : Qe_color.Symbol.t -> Protocol.observation
+(** Leave through the port carrying that symbol; returns the observation
+    at the node arrived at. The agent is aborted if no port of the current
+    node carries the symbol. *)
+
+val post : tag:string -> ?body:string -> unit -> unit
+(** Write a sign of the agent's own color on the current whiteboard. *)
+
+val erase : tag:string -> int
+(** Erase this agent's signs with the given tag here; returns the count. *)
+
+val wait : unit -> Protocol.observation
+(** Block until the current whiteboard changes; returns the fresh
+    observation. *)
+
+val halt : Protocol.verdict -> 'a
+(** Terminate immediately with a verdict (also reached by returning from
+    [main]). *)
+
+(** Effect declarations, exposed so the engine can handle them. Protocol
+    code must not touch these. *)
+module Internal : sig
+  type _ Effect.t +=
+    | Observe : Protocol.observation Effect.t
+    | Move : Qe_color.Symbol.t -> Protocol.observation Effect.t
+    | Post : string * string -> unit Effect.t
+    | Erase : string -> int Effect.t
+    | Wait : Protocol.observation Effect.t
+    | Halt : Protocol.verdict -> unit Effect.t
+end

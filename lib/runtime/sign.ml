@@ -1,0 +1,9 @@
+type t = { color : Qe_color.Color.t; tag : string; body : string }
+
+let make ~color ~tag ?(body = "") () = { color; tag; body }
+let has_tag tag s = String.equal s.tag tag
+let by c s = Qe_color.Color.equal s.color c
+
+let pp ppf s =
+  Format.fprintf ppf "[%a:%s%s]" Qe_color.Color.pp s.color s.tag
+    (if s.body = "" then "" else "=" ^ s.body)

@@ -1,0 +1,19 @@
+(** Colored signs — the unit of information on whiteboards.
+
+    A sign is a bit string (here: a tag and a body) carrying the color of
+    the agent that wrote it. An agent can only write signs of its own
+    color; it reads every sign and can test sign colors for equality —
+    nothing more. *)
+
+type t = {
+  color : Qe_color.Color.t;  (** the author's color *)
+  tag : string;  (** a protocol-chosen kind, e.g. "explored" *)
+  body : string;  (** free-form payload *)
+}
+
+val make : color:Qe_color.Color.t -> tag:string -> ?body:string -> unit -> t
+val has_tag : string -> t -> bool
+val by : Qe_color.Color.t -> t -> bool
+(** [by c s]: was [s] written by the agent of color [c]? *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,33 @@
+(** Recording and analysing execution traces.
+
+    Plug {!recorder} into [Engine.run ~on_event] to capture the full event
+    stream, then slice it: per-agent activity, whiteboard-tag histograms
+    (which expose a protocol's phase structure — map-drawing posts, sync
+    barriers, match races...), and a rendered timeline for debugging. *)
+
+type t
+
+val recorder : unit -> t * (Engine.event -> unit)
+(** A fresh trace and the callback that feeds it. *)
+
+val events : t -> Engine.event list
+(** In execution order. *)
+
+val length : t -> int
+val moves_of : t -> Qe_color.Color.t -> int
+val posts_of : t -> Qe_color.Color.t -> int
+
+val tag_histogram : t -> (string * int) list
+(** Posted signs counted by tag {e prefix} (the part up to the first [':'])
+    — e.g. ELECT traces show "node-id", "sync", "match", "leader"...
+    Sorted by descending count. *)
+
+val nodes_touched : t -> int list
+(** Nodes that saw at least one post, ascending. *)
+
+val timeline : ?limit:int -> t -> string
+(** Human-readable rendering, one event per line ([limit] defaults to
+    everything). *)
+
+val summary : t -> string
+(** One paragraph: totals and the tag histogram. *)

@@ -1,0 +1,69 @@
+let check_size g =
+  if Cdigraph.n g > 9 then
+    invalid_arg "Brute: refusing factorial work on more than 9 nodes"
+
+let iter_permutations n f =
+  let perm = Array.init n Fun.id in
+  let rec go k =
+    if k = n then f (Array.copy perm)
+    else
+      for i = k to n - 1 do
+        let t = perm.(k) in
+        perm.(k) <- perm.(i);
+        perm.(i) <- t;
+        go (k + 1);
+        let t = perm.(k) in
+        perm.(k) <- perm.(i);
+        perm.(i) <- t
+      done
+  in
+  go 0
+
+let min_certificate g =
+  check_size g;
+  let best = ref None in
+  iter_permutations (Cdigraph.n g) (fun perm ->
+      let cert = Cdigraph.certificate_of_identity (Cdigraph.relabel g perm) in
+      match !best with
+      | None -> best := Some cert
+      | Some b -> if String.compare cert b < 0 then best := Some cert);
+  match !best with Some c -> c | None -> assert false
+
+let is_automorphism g perm =
+  let ok = ref true in
+  for u = 0 to Cdigraph.n g - 1 do
+    if Cdigraph.node_color g u <> Cdigraph.node_color g perm.(u) then
+      ok := false
+  done;
+  !ok
+  &&
+  let image =
+    List.sort compare
+      (List.map
+         (fun (a : Cdigraph.arc) -> (perm.(a.src), perm.(a.dst), a.color))
+         (Cdigraph.arcs g))
+  in
+  let original =
+    List.sort compare
+      (List.map
+         (fun (a : Cdigraph.arc) -> (a.src, a.dst, a.color))
+         (Cdigraph.arcs g))
+  in
+  image = original
+
+let all_automorphisms g =
+  check_size g;
+  let acc = ref [] in
+  iter_permutations (Cdigraph.n g) (fun perm ->
+      if is_automorphism g perm then acc := perm :: !acc);
+  !acc
+
+let orbits g =
+  let n = Cdigraph.n g in
+  let autos = all_automorphisms g in
+  Array.init n (fun u ->
+      List.fold_left (fun acc phi -> min acc phi.(u)) u autos)
+
+let isomorphic a b =
+  Cdigraph.n a = Cdigraph.n b
+  && String.equal (min_certificate a) (min_certificate b)

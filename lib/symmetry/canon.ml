@@ -1,0 +1,143 @@
+exception Budget_exceeded
+
+type result = {
+  certificate : string;
+  canonical_labeling : int array;
+  generators : int array list;
+  orbits : int array;
+  leaves_visited : int;
+}
+
+(* Union-find over nodes, used for orbit bookkeeping. *)
+module Uf = struct
+  let create n = Array.init n Fun.id
+
+  let rec find uf x = if uf.(x) = x then x else begin
+    let r = find uf uf.(x) in
+    uf.(x) <- r;
+    r
+  end
+
+  let union uf x y =
+    let rx = find uf x and ry = find uf y in
+    if rx <> ry then
+      (* keep the smaller node as representative *)
+      if rx < ry then uf.(ry) <- rx else uf.(rx) <- ry
+end
+
+let leaf_certificate g p = Cdigraph.certificate_of_identity (Cdigraph.relabel g p)
+
+let run ?(max_leaves = 200_000) g =
+  let n = Cdigraph.n g in
+  let best_cert = ref None in
+  let best_label = ref [||] in
+  let generators = ref [] in
+  let uf = Uf.create n in
+  let leaves = ref 0 in
+  (* Composition: automorphism mapping node u to the node v such that
+     best.(v) = current.(u). *)
+  let automorphism_of_leaves p_best p_cur =
+    let inv_best = Array.make n (-1) in
+    Array.iteri (fun v pos -> inv_best.(pos) <- v) p_best;
+    Array.init n (fun u -> inv_best.(p_cur.(u)))
+  in
+  let record_automorphism phi =
+    let is_id = ref true in
+    Array.iteri (fun u v -> if u <> v then is_id := false) phi;
+    if not !is_id then begin
+      generators := phi :: !generators;
+      Array.iteri (fun u v -> Uf.union uf u v) phi
+    end
+  in
+  (* Does some recorded generator stabilize [prefix] pointwise and map x to
+     y? We use the orbit of x under the prefix-stabilizing subgroup,
+     computed by closure over the stored generators. *)
+  let orbit_under_stabilizer prefix x =
+    let stab_gens =
+      List.filter
+        (fun phi -> List.for_all (fun w -> phi.(w) = w) prefix)
+        !generators
+    in
+    let seen = Hashtbl.create 8 in
+    Hashtbl.add seen x ();
+    let q = Queue.create () in
+    Queue.add x q;
+    while not (Queue.is_empty q) do
+      let y = Queue.pop q in
+      List.iter
+        (fun phi ->
+          if not (Hashtbl.mem seen phi.(y)) then begin
+            Hashtbl.add seen phi.(y) ();
+            Queue.add phi.(y) q
+          end)
+        stab_gens
+    done;
+    seen
+  in
+  let rec search p prefix =
+    if Refine.is_discrete p then begin
+      incr leaves;
+      if !leaves > max_leaves then raise Budget_exceeded;
+      let cert = leaf_certificate g p in
+      match !best_cert with
+      | None ->
+          best_cert := Some cert;
+          best_label := Array.copy p
+      | Some bc ->
+          let cmp = String.compare cert bc in
+          if cmp < 0 then begin
+            best_cert := Some cert;
+            best_label := Array.copy p
+          end
+          else if cmp = 0 then
+            record_automorphism (automorphism_of_leaves !best_label p)
+    end
+    else begin
+      (* Target: the first non-singleton cell. *)
+      let cells = Refine.cell_members p in
+      let target =
+        let rec find i =
+          match cells.(i) with
+          | _ :: _ :: _ -> cells.(i)
+          | _ -> find (i + 1)
+        in
+        find 0
+      in
+      let tried = ref [] in
+      List.iter
+        (fun v ->
+          let skip =
+            List.exists
+              (fun w -> Hashtbl.mem (orbit_under_stabilizer prefix w) v)
+              !tried
+          in
+          if not skip then begin
+            tried := v :: !tried;
+            let p' = Refine.fixpoint g (Refine.split p v) in
+            search p' (v :: prefix)
+          end)
+        target
+    end
+  in
+  search (Refine.equitable g) [];
+  let certificate =
+    match !best_cert with Some c -> c | None -> assert false
+  in
+  let orbits = Array.init n (fun u -> Uf.find uf u) in
+  {
+    certificate;
+    canonical_labeling = !best_label;
+    generators = !generators;
+    orbits;
+    leaves_visited = !leaves;
+  }
+
+let certificate ?max_leaves g = (run ?max_leaves g).certificate
+
+let canonical_form ?max_leaves g =
+  Cdigraph.relabel g (run ?max_leaves g).canonical_labeling
+
+let isomorphic ?max_leaves a b =
+  Cdigraph.n a = Cdigraph.n b
+  && Cdigraph.num_arcs a = Cdigraph.num_arcs b
+  && String.equal (certificate ?max_leaves a) (certificate ?max_leaves b)

@@ -1,0 +1,40 @@
+(** Canonical labeling of colored digraphs, by individualization–refinement
+    with automorphism pruning (a small nauty).
+
+    Lemma 3.1 of the paper orders bi-colored digraphs by the minimum
+    adjacency-matrix word over all [n!] numberings. That brute-force order
+    is only feasible for tiny graphs; this module computes an equivalent
+    isomorphism-invariant certificate (deterministic, equal exactly on
+    isomorphic digraphs), so its lexicographic order is a valid instance of
+    the total order [≺] the protocol needs. The brute-force reference lives
+    in {!Brute} and the two are cross-checked in tests. *)
+
+exception Budget_exceeded
+(** Raised when the search visits more leaves than allowed. *)
+
+type result = {
+  certificate : string;
+      (** Canonical certificate: equal iff digraphs are isomorphic. *)
+  canonical_labeling : int array;
+      (** [canonical_labeling.(u)] is node [u]'s position in the canonical
+          numbering. *)
+  generators : int array list;
+      (** Automorphisms discovered during the search; they generate the
+          full automorphism group. *)
+  orbits : int array;
+      (** [orbits.(u)] is the smallest node in [u]'s automorphism orbit. *)
+  leaves_visited : int;
+}
+
+val run : ?max_leaves:int -> Cdigraph.t -> result
+(** Full search. [max_leaves] defaults to 200_000.
+    @raise Budget_exceeded if the tree is bigger than the budget. *)
+
+val certificate : ?max_leaves:int -> Cdigraph.t -> string
+val canonical_form : ?max_leaves:int -> Cdigraph.t -> Cdigraph.t
+(** The digraph relabeled canonically; isomorphic digraphs yield equal
+    ([Cdigraph.equal]) forms. *)
+
+val isomorphic : ?max_leaves:int -> Cdigraph.t -> Cdigraph.t -> bool
+(** Isomorphism test via certificates (node and arc color values must be
+    drawn from the same intended palettes on both sides). *)

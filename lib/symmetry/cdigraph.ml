@@ -1,0 +1,120 @@
+module Graph = Qe_graph.Graph
+module Labeling = Qe_graph.Labeling
+module Bicolored = Qe_graph.Bicolored
+module Traverse = Qe_graph.Traverse
+
+type arc = { src : int; dst : int; color : int }
+
+type t = {
+  n : int;
+  node_colors : int array;
+  arc_list : arc list;
+  out_adj : (int * int) list array;
+  in_adj : (int * int) list array;
+}
+
+let make ~n ~node_color arc_list =
+  if n <= 0 then invalid_arg "Cdigraph.make: n must be positive";
+  let out_adj = Array.make n [] and in_adj = Array.make n [] in
+  List.iter
+    (fun a ->
+      if a.src < 0 || a.src >= n || a.dst < 0 || a.dst >= n then
+        invalid_arg "Cdigraph.make: arc endpoint out of range";
+      if a.color < 0 then invalid_arg "Cdigraph.make: negative arc color";
+      out_adj.(a.src) <- (a.dst, a.color) :: out_adj.(a.src);
+      in_adj.(a.dst) <- (a.src, a.color) :: in_adj.(a.dst))
+    arc_list;
+  let node_colors =
+    Array.init n (fun u ->
+        let c = node_color u in
+        if c < 0 then invalid_arg "Cdigraph.make: negative node color";
+        c)
+  in
+  Array.iteri (fun u l -> out_adj.(u) <- List.sort compare l) out_adj;
+  Array.iteri (fun u l -> in_adj.(u) <- List.sort compare l) in_adj;
+  { n; node_colors; arc_list; out_adj; in_adj }
+
+let n g = g.n
+let node_color g u = g.node_colors.(u)
+let arcs g = g.arc_list
+let out_arcs g u = g.out_adj.(u)
+let in_arcs g u = g.in_adj.(u)
+let num_arcs g = List.length g.arc_list
+
+let relabel g perm =
+  let inv = Array.make g.n (-1) in
+  Array.iteri (fun old nw -> inv.(nw) <- old) perm;
+  make ~n:g.n
+    ~node_color:(fun u -> g.node_colors.(inv.(u)))
+    (List.map
+       (fun a -> { a with src = perm.(a.src); dst = perm.(a.dst) })
+       g.arc_list)
+
+let sorted_arcs g =
+  List.sort compare (List.map (fun a -> (a.src, a.dst, a.color)) g.arc_list)
+
+let equal a b =
+  a.n = b.n && a.node_colors = b.node_colors && sorted_arcs a = sorted_arcs b
+
+let certificate_of_identity g =
+  let buf = Buffer.create (16 + (8 * g.n)) in
+  Buffer.add_string buf (string_of_int g.n);
+  Buffer.add_char buf '|';
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (string_of_int c);
+      Buffer.add_char buf ',')
+    g.node_colors;
+  Buffer.add_char buf '|';
+  List.iter
+    (fun (s, d, c) ->
+      Buffer.add_string buf (string_of_int s);
+      Buffer.add_char buf '>';
+      Buffer.add_string buf (string_of_int d);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int c);
+      Buffer.add_char buf ';')
+    (sorted_arcs g);
+  Buffer.contents buf
+
+(* --- Embeddings --- *)
+
+let of_graph ?(node_color = fun _ -> 0) g =
+  let arcs =
+    Graph.fold_darts g ~init:[] ~f:(fun acc u _ d ->
+        { src = u; dst = d.dst; color = 0 } :: acc)
+  in
+  make ~n:(Graph.n g) ~node_color arcs
+
+let of_bicolored b =
+  of_graph ~node_color:(Bicolored.node_color b) (Bicolored.graph b)
+
+let pair_encode a b = ((a + b) * (a + b + 1) / 2) + b
+
+let of_labeled ?(node_color = fun _ -> 0) l =
+  let g = Labeling.graph l in
+  let arcs =
+    Graph.fold_darts g ~init:[] ~f:(fun acc u i d ->
+        let near = Labeling.symbol l u i in
+        let far = Labeling.symbol l d.dst d.dst_port in
+        { src = u; dst = d.dst; color = pair_encode near far } :: acc)
+  in
+  make ~n:(Graph.n g) ~node_color arcs
+
+let of_surrounding b u =
+  let g = Bicolored.graph b in
+  let dist = Traverse.bfs_distances g u in
+  let arcs =
+    Graph.fold_darts g ~init:[] ~f:(fun acc x _ d ->
+        if dist.(x) <= dist.(d.dst) then
+          { src = x; dst = d.dst; color = 0 } :: acc
+        else acc)
+  in
+  make ~n:(Graph.n g) ~node_color:(Bicolored.node_color b) arcs
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>cdigraph n=%d arcs=%d@," g.n (num_arcs g);
+  List.iter
+    (fun a -> Format.fprintf ppf "  %d ->%d (c%d)@," a.src a.dst a.color)
+    g.arc_list;
+  Format.fprintf ppf "@]"

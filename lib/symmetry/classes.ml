@@ -1,0 +1,72 @@
+module Bicolored = Qe_graph.Bicolored
+module Graph = Qe_graph.Graph
+
+type t = {
+  ordered : (string * int list) list; (* certificate, members; black first *)
+  node_class : int array;
+  num_black : int;
+}
+
+let surrounding_certificate ?max_leaves b u =
+  Canon.certificate ?max_leaves (Cdigraph.of_surrounding b u)
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+let gcd_all = List.fold_left gcd 0
+
+let compute ?max_leaves b =
+  (* The classes are the orbits of the color-preserving automorphisms
+     (equivalently: nodes with isomorphic surroundings — Lemma 3.1's first
+     claim, cross-checked in the test suite). One automorphism run finds
+     the orbits; one surrounding certificate per orbit representative then
+     yields the order [≺] — far cheaper than one canonical labeling per
+     node. *)
+  let orbits = Aut.orbit_partition ?max_leaves (Cdigraph.of_bicolored b) in
+  let all =
+    List.map
+      (fun members ->
+        match members with
+        | u :: _ -> (surrounding_certificate ?max_leaves b u, members)
+        | [] -> assert false)
+      orbits
+  in
+  (* A class is uniformly black or white: surroundings embed node colors. *)
+  let is_black_class (_, members) =
+    match members with
+    | u :: _ -> Bicolored.is_black b u
+    | [] -> assert false
+  in
+  let by_cert (c1, _) (c2, _) = String.compare c1 c2 in
+  let blacks = List.sort by_cert (List.filter is_black_class all) in
+  let whites =
+    List.sort by_cert (List.filter (fun c -> not (is_black_class c)) all)
+  in
+  let ordered = blacks @ whites in
+  let node_class = Array.make (Graph.n (Bicolored.graph b)) (-1) in
+  List.iteri
+    (fun i (_, members) -> List.iter (fun u -> node_class.(u) <- i) members)
+    ordered;
+  { ordered; node_class; num_black = List.length blacks }
+
+let classes t = List.map snd t.ordered
+let num_black_classes t = t.num_black
+let num_classes t = List.length t.ordered
+let sizes t = List.map (fun (_, members) -> List.length members) t.ordered
+let gcd_sizes t = gcd_all (sizes t)
+let class_of_node t u = t.node_class.(u)
+let certificate_of_class t i = fst (List.nth t.ordered i)
+
+let equivalent ?max_leaves b u v =
+  String.equal
+    (surrounding_certificate ?max_leaves b u)
+    (surrounding_certificate ?max_leaves b v)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%d classes (%d black):@," (num_classes t)
+    t.num_black;
+  List.iteri
+    (fun i (_, members) ->
+      Format.fprintf ppf "  C%d (%s): {%s}@," (i + 1)
+        (if i < t.num_black then "black" else "white")
+        (String.concat "," (List.map string_of_int members)))
+    t.ordered;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,46 @@
+(** Equivalence classes of a bicolored instance, with the total order [≺]
+    (Section 3.1 of the paper).
+
+    Two nodes are equivalent (Definition 2.1) iff their surroundings
+    (Definition 3.1) are isomorphic — that equivalence and the class order
+    are computed here from surrounding certificates. The order is exactly
+    what Lemma 3.1 requires: deterministic, isomorphism-invariant, and
+    independent of agent colors and edge labels, so every agent computes
+    the same ordered classes from its map. *)
+
+type t
+
+val compute : ?max_leaves:int -> Qe_graph.Bicolored.t -> t
+
+val classes : t -> int list list
+(** [C_1 .. C_k]: the classes containing home-bases first (sorted by [≺]),
+    then the all-white classes (sorted by [≺]) — the order Protocol ELECT
+    consumes. Each class is sorted by node id. *)
+
+val num_black_classes : t -> int
+(** [ℓ], the number of classes consisting of home-bases. *)
+
+val num_classes : t -> int
+val sizes : t -> int list
+(** Sizes of [C_1 .. C_k] in class order. *)
+
+val gcd_sizes : t -> int
+(** [gcd(|C_1|, ..., |C_k|)] — ELECT succeeds iff this is 1
+    (Theorem 3.1). *)
+
+val class_of_node : t -> int -> int
+(** Index (0-based) into {!classes} of the class containing a node. *)
+
+val certificate_of_class : t -> int -> string
+(** The surrounding certificate shared by the class members. *)
+
+val equivalent : ?max_leaves:int -> Qe_graph.Bicolored.t -> int -> int -> bool
+(** [S(u) ≅ S(v)]? *)
+
+val surrounding_certificate :
+  ?max_leaves:int -> Qe_graph.Bicolored.t -> int -> string
+
+val gcd_all : int list -> int
+(** Gcd of a list; [gcd_all [] = 0]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,82 @@
+module Graph = Qe_graph.Graph
+module Labeling = Qe_graph.Labeling
+module Bicolored = Qe_graph.Bicolored
+
+type t = { base : Cdigraph.t; projection : int array; degree : int }
+
+(* same injective pairing as Cdigraph.of_labeled uses for arc colors *)
+let pair_encode a b = ((a + b) * (a + b + 1) / 2) + b
+
+let node_color_of ?placement () =
+  match placement with
+  | None -> fun _ -> 0
+  | Some b -> Bicolored.node_color b
+
+let minimum_base ?placement l =
+  let g = Labeling.graph l in
+  let n = Graph.n g in
+  let node_color = node_color_of ?placement () in
+  let classes = View.classes ?placement l in
+  let k = List.length classes in
+  let sizes = List.sort_uniq compare (List.map List.length classes) in
+  let degree =
+    match sizes with
+    | [ s ] -> s
+    | _ -> failwith "Covering.minimum_base: unequal view classes"
+  in
+  let projection = Array.make n (-1) in
+  List.iteri
+    (fun c members -> List.iter (fun v -> projection.(v) <- c) members)
+    classes;
+  (* one arc per dart of each class representative *)
+  let rep = Array.make k (-1) in
+  List.iteri
+    (fun c members ->
+      match members with v :: _ -> rep.(c) <- v | [] -> assert false)
+    classes;
+  let arcs = ref [] in
+  for c = 0 to k - 1 do
+    let v = rep.(c) in
+    Array.iteri
+      (fun i (d : Graph.dart) ->
+        let near = Labeling.symbol l v i in
+        let far = Labeling.symbol l d.dst d.dst_port in
+        arcs :=
+          {
+            Cdigraph.src = c;
+            dst = projection.(d.dst);
+            color = pair_encode near far;
+          }
+          :: !arcs)
+      (Graph.darts g v)
+  done;
+  let base =
+    Cdigraph.make ~n:k ~node_color:(fun c -> node_color rep.(c)) !arcs
+  in
+  { base; projection; degree }
+
+let is_covering_map ?placement l t =
+  let g = Labeling.graph l in
+  let n = Graph.n g in
+  let node_color = node_color_of ?placement () in
+  let sorted_star v =
+    Array.to_list (Graph.darts g v)
+    |> List.mapi (fun i (d : Graph.dart) ->
+           let near = Labeling.symbol l v i in
+           let far = Labeling.symbol l d.dst d.dst_port in
+           (t.projection.(d.dst), pair_encode near far))
+    |> List.sort compare
+  in
+  let ok = ref true in
+  for v = 0 to n - 1 do
+    let c = t.projection.(v) in
+    if node_color v <> Cdigraph.node_color t.base c then ok := false;
+    if sorted_star v <> Cdigraph.out_arcs t.base c then ok := false
+  done;
+  (* fibers all have the declared size *)
+  let counts = Array.make (Cdigraph.n t.base) 0 in
+  Array.iter (fun c -> counts.(c) <- counts.(c) + 1) t.projection;
+  Array.iter (fun cnt -> if cnt <> t.degree then ok := false) counts;
+  !ok
+
+let trivial t = t.degree = 1

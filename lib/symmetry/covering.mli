@@ -1,0 +1,36 @@
+(** Quotients and coverings of labeled graphs — the structure behind views.
+
+    Two nodes share a view exactly when they sit in the same fiber of a
+    graph fibration onto a common base; the coarsest such quotient (by the
+    view-equivalence partition itself) is the {e minimum base}. The
+    projection has the same degree [σ_ℓ] over every base node, which is
+    why all view classes have the same size and why an agent can never
+    tell fiber-mates apart — the combinatorial heart of Theorem 2.1's
+    impossibility machinery.
+
+    Bases live in the colored-digraph world: a quotient can have loops,
+    parallel arcs, and even "half edges" (an edge folded onto itself by an
+    involution, as when [K_2] quotients to a single node), all of which
+    are just arcs of a {!Cdigraph.t}. Arc colors encode the ordered pair
+    of endpoint symbols of the covered edges. *)
+
+type t = {
+  base : Cdigraph.t;  (** the quotient *)
+  projection : int array;  (** node of [g] -> node of [base] *)
+  degree : int;  (** fiber size = [σ_ℓ] *)
+}
+
+val minimum_base : ?placement:Qe_graph.Bicolored.t -> Qe_graph.Labeling.t -> t
+(** Quotient by view equivalence.
+    @raise Failure if the view classes are not all the same size (cannot
+    happen on a connected graph; internal sanity check). *)
+
+val is_covering_map : ?placement:Qe_graph.Bicolored.t -> Qe_graph.Labeling.t -> t -> bool
+(** Validates the defining fibration property: for every node [v] of [g],
+    the colored out-arcs of [v] (in the {!Cdigraph.of_labeled} embedding,
+    with targets projected) match the base's out-arcs at [projection.(v)]
+    as multisets, and node colors project correctly. *)
+
+val trivial : t -> bool
+(** Degree 1 — the graph is its own minimum base, i.e. [σ_ℓ = 1] and all
+    views are distinct. *)

@@ -1,0 +1,41 @@
+module Bicolored = Qe_graph.Bicolored
+
+let digraph ?placement l =
+  let node_color =
+    match placement with
+    | None -> fun _ -> 0
+    | Some b -> Bicolored.node_color b
+  in
+  Cdigraph.of_labeled ~node_color l
+
+let classes ?placement ?max_leaves l =
+  Aut.orbit_partition ?max_leaves (digraph ?placement l)
+
+let class_sizes ?placement ?max_leaves l =
+  List.map List.length (classes ?placement ?max_leaves l)
+
+let all_same_size = function
+  | [] -> true
+  | c :: rest ->
+      let s = List.length c in
+      List.for_all (fun c' -> List.length c' = s) rest
+
+let max_class_size ?placement ?max_leaves l =
+  List.fold_left max 1 (class_sizes ?placement ?max_leaves l)
+
+let equivalent ?placement ?max_leaves l x y =
+  Aut.equivalent ?max_leaves (digraph ?placement l) x y
+
+let implies_same_view ?placement l =
+  let g = Qe_graph.Labeling.graph l in
+  let n = Qe_graph.Graph.n g in
+  let ok = ref true in
+  for x = 0 to n - 1 do
+    for y = x + 1 to n - 1 do
+      if
+        equivalent ?placement l x y
+        && not (View.equal_views ?placement l x y)
+      then ok := false
+    done
+  done;
+  !ok

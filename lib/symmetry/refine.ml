@@ -1,0 +1,70 @@
+type partition = int array
+
+let rank_assign keys =
+  (* Given an array of comparable keys, return the array of dense ranks
+     (0-based) of each key in sorted order of distinct keys. *)
+  let distinct = List.sort_uniq compare (Array.to_list keys) in
+  let index = Hashtbl.create (List.length distinct) in
+  List.iteri (fun i k -> Hashtbl.add index k i) distinct;
+  Array.map (fun k -> Hashtbl.find index k) keys
+
+let initial g =
+  rank_assign (Array.init (Cdigraph.n g) (Cdigraph.node_color g))
+
+let step g p =
+  let n = Cdigraph.n g in
+  let signature u =
+    let outs =
+      List.sort compare
+        (List.map (fun (v, c) -> (c, p.(v))) (Cdigraph.out_arcs g u))
+    in
+    let ins =
+      List.sort compare
+        (List.map (fun (v, c) -> (c, p.(v))) (Cdigraph.in_arcs g u))
+    in
+    (p.(u), outs, ins)
+  in
+  rank_assign (Array.init n signature)
+
+let num_cells p =
+  Array.fold_left (fun acc c -> max acc (c + 1)) 0 p
+
+let fixpoint g p0 =
+  let rec go p =
+    let p' = step g p in
+    if num_cells p' = num_cells p then p else go p'
+  in
+  go p0
+
+let equitable g = fixpoint g (initial g)
+
+let split p u =
+  (* u gets a cell of its own, ordered just before its old cellmates; all
+     cells renumbered densely preserving order, with u's new cell coming
+     first within the old cell's slot. *)
+  let n = Array.length p in
+  let keys =
+    Array.init n (fun v ->
+        (* (old cell, 0 if v = u else 1) orders u first in its cell *)
+        (p.(v), if v = u then 0 else 1))
+  in
+  rank_assign keys
+
+let singleton_start g u = fixpoint g (split (initial g) u)
+
+let cell_members p =
+  let k = num_cells p in
+  let cells = Array.make k [] in
+  for u = Array.length p - 1 downto 0 do
+    cells.(p.(u)) <- u :: cells.(p.(u))
+  done;
+  cells
+
+let is_discrete p = num_cells p = Array.length p
+
+let rounds_to_stability g =
+  let rec go p rounds =
+    let p' = step g p in
+    if num_cells p' = num_cells p then rounds else go p' (rounds + 1)
+  in
+  go (initial g) 0

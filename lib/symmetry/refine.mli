@@ -1,0 +1,43 @@
+(** Equitable partition refinement (1-dimensional Weisfeiler–Leman) on
+    colored digraphs.
+
+    Repeatedly splits cells by the multiset of (arc color, neighbor cell)
+    seen on out- and in-arcs, until stable. Cell numbering is
+    isomorphism-invariant: cells are ordered by their (invariant)
+    signatures, so two isomorphic digraphs get corresponding partitions.
+    This is both the canonical-labeling workhorse and, run on an
+    edge-labeled graph, exactly the view-equivalence computation of
+    Yamashita–Kameda (Norris: stabilisation within [n - 1] rounds). *)
+
+type partition = int array
+(** [p.(u)] is the cell id of node [u]; cell ids are [0 .. k-1] with no
+    gaps. *)
+
+val initial : Cdigraph.t -> partition
+(** Cells by node color (colors ranked increasingly). *)
+
+val singleton_start : Cdigraph.t -> int -> partition
+(** Like {!initial} but with one chosen node split off into its own cell —
+    used to individualize a vertex. *)
+
+val step : Cdigraph.t -> partition -> partition
+(** One refinement round. *)
+
+val fixpoint : Cdigraph.t -> partition -> partition
+(** Refine until stable. *)
+
+val equitable : Cdigraph.t -> partition
+(** [fixpoint g (initial g)]. *)
+
+val num_cells : partition -> int
+val cell_members : partition -> int list array
+(** Members of each cell, ascending. *)
+
+val is_discrete : partition -> bool
+val split : partition -> int -> partition
+(** [split p u] individualizes node [u]: [u] moves to a fresh cell placed
+    just before the rest of its old cell (invariant renumbering). *)
+
+val rounds_to_stability : Cdigraph.t -> int
+(** Number of rounds {!equitable} needs — compared against the Norris
+    [n-1] bound in tests. *)

@@ -1,0 +1,51 @@
+(** The marking process behind Theorem 4.1, run as an executable
+    construction.
+
+    The theorem's proof marks generator edges of [Cay(Γ, S)] until the
+    pseudo label-equivalence classes — orbits of the automorphisms that
+    preserve node colors and the marked labels — shrink to the
+    translation-equivalence classes, each of size [d] (translations act
+    freely, so all translation classes have the same size, the gcd of the
+    theorem statement). Since translations preserve the natural generator
+    labeling, the final classes are the label-equivalence classes of that
+    labeling, and [d > 1] triggers the Theorem 2.1 impossibility.
+
+    The paper marks edges class-by-class; that is only well-defined when a
+    pseudo class is a union of translation classes crossed coherently by a
+    generator. This implementation therefore marks per {e translation
+    class} (always coherent — the construction the proof actually needs),
+    preferring, as the paper does, marks that separate pseudo classes of
+    different sizes. Every step records the recomputed semantic pseudo
+    classes, and the run self-checks its invariants. *)
+
+type step = {
+  marked_class : int list;
+      (** the translation class whose [s]-edges get marked *)
+  generator : int;  (** the generator [s] *)
+  classes_after : int list list;  (** pseudo classes after this marking *)
+}
+
+type trace = {
+  translation_classes : int list list;
+  initial_classes : int list list;
+      (** pseudo classes before any marking — the [~] classes of
+          Definition 2.1 *)
+  steps : step list;
+  final_classes : int list list;
+      (** the fixpoint: equal to [translation_classes], all of size
+          [gcd] *)
+  gcd : int;  (** the common size [d] of the translation classes *)
+}
+
+val run : ?max_leaves:int -> Qe_group.Cayley.t -> black:int list -> trace
+(** @raise Failure if an invariant fails (the checks are the point). *)
+
+val monotone_refinement : trace -> bool
+(** Each step refines the previous pseudo partition (never merges). *)
+
+val translations_always_refine : trace -> bool
+(** Translation classes refine the pseudo classes at every step — i.e.
+    marking never breaks a translation, the key soundness invariant. *)
+
+val all_final_size_gcd : trace -> bool
+val final_equals_translation_classes : trace -> bool

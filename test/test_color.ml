@@ -1,0 +1,145 @@
+module Color = Qe_color.Color
+module Symbol = Qe_color.Symbol
+module Coding = Qe_color.Coding
+module Palette = Qe_color.Palette
+
+let test_mint_distinct () =
+  let a = Color.mint "red" and b = Color.mint "red" in
+  Alcotest.(check bool) "same name, distinct tokens" false (Color.equal a b);
+  Alcotest.(check bool) "reflexive" true (Color.equal a a);
+  Alcotest.(check string) "name kept" "red" (Color.name a)
+
+let test_mint_many () =
+  let cs = Color.mint_many [| "a"; "b"; "c" |] in
+  Alcotest.(check int) "three tokens" 3 (List.length cs);
+  List.iteri
+    (fun i x ->
+      List.iteri
+        (fun j y ->
+          Alcotest.(check bool)
+            (Printf.sprintf "distinct %d %d" i j)
+            (i = j) (Color.equal x y))
+        cs)
+    cs
+
+let test_internal_roundtrip () =
+  let a = Color.mint "x" in
+  let i = Color.Internal.to_int a in
+  let a' = Color.Internal.of_int i "x" in
+  Alcotest.(check bool) "roundtrip equal" true (Color.equal a a')
+
+let test_tbl () =
+  let tbl = Color.Tbl.create 8 in
+  let cs = Palette.colors 10 in
+  List.iteri (fun i c -> Color.Tbl.replace tbl c i) cs;
+  List.iteri
+    (fun i c -> Alcotest.(check int) "lookup" i (Color.Tbl.find tbl c))
+    cs
+
+let test_symbol_color_independent () =
+  (* Symbols and colors are separate mints: ids may collide but types
+     differ, so there is nothing to check at runtime beyond distinctness
+     within each kind. *)
+  let ss = Palette.symbols 5 in
+  List.iteri
+    (fun i x ->
+      List.iteri
+        (fun j y ->
+          Alcotest.(check bool) "symbol distinctness" (i = j)
+            (Symbol.equal x y))
+        ss)
+    ss
+
+let test_coding_basic () =
+  Alcotest.(check (list int))
+    "abca" [ 1; 2; 3; 1 ]
+    (Coding.code ~equal:Char.equal [ 'a'; 'b'; 'c'; 'a' ]);
+  Alcotest.(check (list int)) "empty" [] (Coding.code ~equal:Char.equal []);
+  Alcotest.(check (list int))
+    "all same" [ 1; 1; 1 ]
+    (Coding.code ~equal:Char.equal [ 'z'; 'z'; 'z' ])
+
+let test_coding_figure2 () =
+  (* The paper's Figure 2(b) collision: an agent reading *, o, ., * and an
+     agent reading *, ., o, * produce the same code 1 2 3 1. *)
+  let star = Symbol.mint "*"
+  and circ = Symbol.mint "o"
+  and bullet = Symbol.mint "." in
+  let from_x = [ star; circ; bullet; star ] in
+  let from_z = [ star; bullet; circ; star ] in
+  Alcotest.(check (list int))
+    "x's code" [ 1; 2; 3; 1 ]
+    (Coding.code_symbols from_x);
+  Alcotest.(check bool) "codes collide" true
+    (Coding.same_coding ~equal:Symbol.equal from_x from_z)
+
+let test_coding_distinguishes () =
+  let a = Color.mint "a" and b = Color.mint "b" in
+  Alcotest.(check bool) "aab vs aba differ" false
+    (Coding.same_coding ~equal:Color.equal [ a; a; b ] [ a; b; a ]);
+  Alcotest.(check bool) "length mismatch" false
+    (Coding.same_coding ~equal:Color.equal [ a ] [ a; a ])
+
+let test_palette_sizes () =
+  Alcotest.(check int) "100 colors" 100 (List.length (Palette.colors 100));
+  Alcotest.(check int) "0 colors" 0 (List.length (Palette.colors 0));
+  (* names past the palette size are disambiguated *)
+  let cs = Palette.colors 85 in
+  let names = List.map Color.name cs in
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "names unique" 85 (List.length sorted)
+
+(* Property: first-seen coding is invariant under any relabeling injection. *)
+let prop_coding_relabel_invariant =
+  QCheck.Test.make ~name:"coding invariant under injective relabeling"
+    ~count:200
+    QCheck.(list (int_bound 20))
+    (fun xs ->
+      let shift = List.map (fun x -> (x * 37) + 11) xs in
+      Coding.code ~equal:Int.equal xs = Coding.code ~equal:Int.equal shift)
+
+let prop_coding_starts_at_one =
+  QCheck.Test.make ~name:"nonempty coding starts at 1" ~count:200
+    QCheck.(list_of_size Gen.(1 -- 30) (int_bound 10))
+    (fun xs ->
+      match Coding.code ~equal:Int.equal xs with
+      | 1 :: _ -> true
+      | _ -> false)
+
+let prop_coding_prefix_closed =
+  QCheck.Test.make ~name:"coding of prefix is prefix of coding" ~count:200
+    QCheck.(pair (list (int_bound 8)) (list (int_bound 8)))
+    (fun (xs, ys) ->
+      let code = Coding.code ~equal:Int.equal in
+      let full = code (xs @ ys) in
+      let rec take n = function
+        | [] -> []
+        | x :: tl -> if n = 0 then [] else x :: take (n - 1) tl
+      in
+      code xs = take (List.length xs) full)
+
+let () =
+  Alcotest.run "color"
+    [
+      ( "token",
+        [
+          Alcotest.test_case "mint distinct" `Quick test_mint_distinct;
+          Alcotest.test_case "mint many" `Quick test_mint_many;
+          Alcotest.test_case "internal roundtrip" `Quick
+            test_internal_roundtrip;
+          Alcotest.test_case "hashtable" `Quick test_tbl;
+          Alcotest.test_case "symbols independent" `Quick
+            test_symbol_color_independent;
+        ] );
+      ( "coding",
+        [
+          Alcotest.test_case "basic" `Quick test_coding_basic;
+          Alcotest.test_case "figure 2 collision" `Quick test_coding_figure2;
+          Alcotest.test_case "distinguishes" `Quick test_coding_distinguishes;
+          QCheck_alcotest.to_alcotest prop_coding_relabel_invariant;
+          QCheck_alcotest.to_alcotest prop_coding_starts_at_one;
+          QCheck_alcotest.to_alcotest prop_coding_prefix_closed;
+        ] );
+      ( "palette",
+        [ Alcotest.test_case "sizes and names" `Quick test_palette_sizes ] );
+    ]

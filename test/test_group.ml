@@ -1,0 +1,318 @@
+module Group = Qe_group.Group
+module Genset = Qe_group.Genset
+module Cayley = Qe_group.Cayley
+module Graph = Qe_graph.Graph
+module Labeling = Qe_graph.Labeling
+module Traverse = Qe_graph.Traverse
+module Families = Qe_graph.Families
+
+let group_axioms g =
+  let n = Group.order g in
+  Alcotest.(check bool) "identity" true
+    (List.for_all (fun a -> Group.mul g 0 a = a && Group.mul g a 0 = a)
+       (Group.elements g));
+  Alcotest.(check bool) "inverses" true
+    (List.for_all
+       (fun a -> Group.mul g a (Group.inv g a) = 0
+                 && Group.mul g (Group.inv g a) a = 0)
+       (Group.elements g));
+  (* spot-check associativity beyond the constructor's own validation *)
+  let st = Random.State.make [| n; 99 |] in
+  for _ = 1 to 500 do
+    let a = Random.State.int st n
+    and b = Random.State.int st n
+    and c = Random.State.int st n in
+    Alcotest.(check int) "assoc" (Group.mul g (Group.mul g a b) c)
+      (Group.mul g a (Group.mul g b c))
+  done
+
+let test_cyclic () =
+  let g = Group.cyclic 6 in
+  group_axioms g;
+  Alcotest.(check int) "order" 6 (Group.order g);
+  Alcotest.(check int) "2+5" 1 (Group.mul g 2 5);
+  Alcotest.(check int) "inv 2" 4 (Group.inv g 2);
+  Alcotest.(check bool) "abelian" true (Group.is_abelian g);
+  Alcotest.(check int) "elt order of 2 in Z6" 3 (Group.elt_order g 2);
+  Alcotest.(check int) "elt order of 1" 6 (Group.elt_order g 1)
+
+let test_product () =
+  let g = Group.product (Group.cyclic 2) (Group.cyclic 3) in
+  group_axioms g;
+  Alcotest.(check int) "order" 6 (Group.order g);
+  Alcotest.(check bool) "abelian" true (Group.is_abelian g);
+  (* Z2 x Z3 is cyclic of order 6: has an element of order 6 *)
+  Alcotest.(check bool) "has order-6 element" true
+    (List.exists (fun a -> Group.elt_order g a = 6) (Group.elements g))
+
+let test_power () =
+  let g = Group.power (Group.cyclic 2) 4 in
+  group_axioms g;
+  Alcotest.(check int) "order 16" 16 (Group.order g);
+  Alcotest.(check bool) "every element involutive" true
+    (List.for_all (fun a -> a = 0 || Group.is_involution g a)
+       (Group.elements g));
+  (* xor structure: mul = lxor under our encoding *)
+  Alcotest.(check int) "5 * 3 = 6" 6 (Group.mul g 5 3)
+
+let test_dihedral () =
+  let g = Group.dihedral 5 in
+  group_axioms g;
+  Alcotest.(check int) "order 10" 10 (Group.order g);
+  Alcotest.(check bool) "non-abelian" false (Group.is_abelian g);
+  (* reflections are involutions *)
+  Alcotest.(check bool) "reflections involutive" true
+    (List.for_all (fun i -> Group.is_involution g (5 + i))
+       [ 0; 1; 2; 3; 4 ]);
+  Alcotest.(check int) "rotation order" 5 (Group.elt_order g 1)
+
+let test_symmetric () =
+  let g = Group.symmetric 4 in
+  group_axioms g;
+  Alcotest.(check int) "order 24" 24 (Group.order g);
+  Alcotest.(check bool) "non-abelian" false (Group.is_abelian g);
+  let orders = List.map (Group.elt_order g) (Group.elements g) in
+  Alcotest.(check int) "max element order in S4" 4
+    (List.fold_left max 1 orders)
+
+let test_quaternion () =
+  let g = Group.quaternion () in
+  group_axioms g;
+  Alcotest.(check int) "order 8" 8 (Group.order g);
+  Alcotest.(check bool) "non-abelian" false (Group.is_abelian g);
+  (* exactly one involution: -1 *)
+  let invs = List.filter (Group.is_involution g) (Group.elements g) in
+  Alcotest.(check int) "single involution" 1 (List.length invs)
+
+let test_semidirect () =
+  let g = Group.semidirect_shift 3 in
+  group_axioms g;
+  Alcotest.(check int) "order 24" 24 (Group.order g);
+  Alcotest.(check bool) "non-abelian" false (Group.is_abelian g)
+
+let test_closure_generates () =
+  let g = Group.cyclic 12 in
+  Alcotest.(check (list int)) "closure of 4" [ 0; 4; 8 ] (Group.closure g [ 4 ]);
+  Alcotest.(check bool) "5 generates Z12" true (Group.generates g [ 5 ]);
+  Alcotest.(check bool) "4 does not" false (Group.generates g [ 4 ]);
+  Alcotest.(check bool) "4 and 6 give the even residues" false
+    (Group.generates g [ 4; 6 ]);
+  Alcotest.(check (list int)) "closure of {4,6}" [ 0; 2; 4; 6; 8; 10 ]
+    (Group.closure g [ 4; 6 ]);
+  Alcotest.(check bool) "3 and 4 do" true (Group.generates g [ 3; 4 ])
+
+let test_bad_tables () =
+  Alcotest.(check bool) "non-associative rejected" true
+    (try
+       (* a small magma that is not associative *)
+       ignore
+         (Group.of_mul_table
+            [| [| 0; 1; 2 |]; [| 1; 2; 2 |]; [| 2; 0; 1 |] |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "bad identity rejected" true
+    (try
+       ignore (Group.of_mul_table [| [| 1; 0 |]; [| 0; 1 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_genset () =
+  let g = Group.cyclic 8 in
+  let s = Genset.make g [ 1 ] in
+  Alcotest.(check (list int)) "inverse added" [ 1; 7 ] (Genset.elements s);
+  Alcotest.(check bool) "identity rejected" true
+    (try ignore (Genset.make g [ 0 ]); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "non-generating rejected" true
+    (try ignore (Genset.make g [ 2 ]); false
+     with Invalid_argument _ -> true);
+  let full = Genset.all_non_identity g in
+  Alcotest.(check int) "full genset size" 7 (Genset.size full);
+  Alcotest.(check (list int)) "involutions of Z8" [ 4 ]
+    (Genset.involutions full)
+
+(* --- Cayley graphs --- *)
+
+let isomorphic_check_counts c expected_n expected_m =
+  Alcotest.(check int) "nodes" expected_n (Graph.n (Cayley.graph c));
+  Alcotest.(check int) "edges" expected_m (Graph.m (Cayley.graph c))
+
+let test_cayley_ring () =
+  let c = Cayley.ring 7 in
+  isomorphic_check_counts c 7 7;
+  Alcotest.(check bool) "connected" true
+    (Traverse.is_connected (Cayley.graph c));
+  for u = 0 to 6 do
+    Alcotest.(check int) "2-regular" 2 (Graph.degree (Cayley.graph c) u)
+  done
+
+let test_cayley_hypercube () =
+  let c = Cayley.hypercube 4 in
+  isomorphic_check_counts c 16 32;
+  Alcotest.(check int) "diameter 4" 4 (Traverse.diameter (Cayley.graph c))
+
+let test_cayley_complete () =
+  let c = Cayley.complete 6 in
+  isomorphic_check_counts c 6 15;
+  Alcotest.(check int) "diameter 1" 1 (Traverse.diameter (Cayley.graph c))
+
+let test_cayley_torus_circulant_ccc () =
+  isomorphic_check_counts (Cayley.torus 3 4) 12 24;
+  isomorphic_check_counts (Cayley.circulant 10 [ 1; 3 ]) 10 20;
+  isomorphic_check_counts (Cayley.cube_connected_cycles 3) 24 36;
+  isomorphic_check_counts (Cayley.dihedral_cayley 4) 8 8;
+  isomorphic_check_counts (Cayley.star_graph 4) 24 36
+
+let test_cayley_labeling_natural () =
+  let c = Cayley.hypercube 3 in
+  let g = Cayley.graph c and l = Cayley.labeling c in
+  let grp = Cayley.group c in
+  (* symbol on port (u, i) is the generator u^-1 * v *)
+  for u = 0 to Graph.n g - 1 do
+    for i = 0 to Graph.degree g u - 1 do
+      let v = (Graph.dart g u i).dst in
+      Alcotest.(check int) "natural label"
+        (Group.mul grp (Group.inv grp u) v)
+        (Labeling.symbol l u i);
+      Alcotest.(check int) "port_generator agrees"
+        (Labeling.symbol l u i) (Cayley.port_generator c u i)
+    done
+  done;
+  Alcotest.(check bool) "labeling valid" true (Labeling.check l)
+
+let test_translations_are_automorphisms () =
+  List.iter
+    (fun c ->
+      let grp = Cayley.group c in
+      List.iter
+        (fun gamma ->
+          Alcotest.(check bool) "translation is automorphism" true
+            (Cayley.is_automorphism c (fun a -> Cayley.translation c gamma a));
+          Alcotest.(check bool) "translation preserves labels" true
+            (Cayley.translation_preserves_labeling c gamma))
+        (Group.elements grp))
+    [ Cayley.ring 6; Cayley.hypercube 3; Cayley.dihedral_cayley 3 ]
+
+let test_translation_classes_cycle () =
+  (* The paper's example: even cycle, two antipodal agents. *)
+  let c = Cayley.ring 8 in
+  let classes = Cayley.translation_classes c ~black:[ 0; 4 ] in
+  let sizes = List.sort compare (List.map List.length classes) in
+  Alcotest.(check (list int)) "all classes of size 2"
+    [ 2; 2; 2; 2 ] sizes;
+  (* gcd = 2: election impossible *)
+  let preserving = Cayley.color_preserving_translations c ~black:[ 0; 4 ] in
+  Alcotest.(check (list int)) "preserving translations" [ 0; 4 ] preserving
+
+let test_translation_classes_asymmetric () =
+  (* Two agents at distance 1 and 3 on C8: only the identity preserves the
+     placement, so classes are singletons and gcd = 1. *)
+  let c = Cayley.ring 8 in
+  let classes = Cayley.translation_classes c ~black:[ 0; 1; 4 ] in
+  Alcotest.(check int) "8 singleton classes" 8 (List.length classes);
+  List.iter
+    (fun cl -> Alcotest.(check int) "singleton" 1 (List.length cl))
+    classes
+
+let test_translation_classes_hypercube () =
+  let c = Cayley.hypercube 3 in
+  (* complementary pair 0 and 7 = 111: translation by 7 preserves it *)
+  let classes = Cayley.translation_classes c ~black:[ 0; 7 ] in
+  let sizes = List.sort compare (List.map List.length classes) in
+  Alcotest.(check (list int)) "four classes of 2" [ 2; 2; 2; 2 ] sizes
+
+let test_cayley_structure_matches_families () =
+  (* Cayley constructions should be isomorphic to the direct constructions;
+     cheap necessary conditions: same degree sequence, connectivity,
+     diameter. *)
+  let compare_basic name a b =
+    Alcotest.(check int) (name ^ " n") (Graph.n a) (Graph.n b);
+    Alcotest.(check int) (name ^ " m") (Graph.m a) (Graph.m b);
+    let degs g =
+      List.sort compare (List.init (Graph.n g) (Graph.degree g))
+    in
+    Alcotest.(check (list int)) (name ^ " degrees") (degs a) (degs b);
+    Alcotest.(check int) (name ^ " diameter") (Traverse.diameter a)
+      (Traverse.diameter b)
+  in
+  compare_basic "ring" (Cayley.graph (Cayley.ring 9)) (Families.cycle 9);
+  compare_basic "hypercube"
+    (Cayley.graph (Cayley.hypercube 4))
+    (Families.hypercube 4);
+  compare_basic "complete"
+    (Cayley.graph (Cayley.complete 7))
+    (Families.complete 7);
+  compare_basic "torus" (Cayley.graph (Cayley.torus 3 5)) (Families.torus 3 5);
+  compare_basic "ccc"
+    (Cayley.graph (Cayley.cube_connected_cycles 3))
+    (Families.cube_connected_cycles 3)
+
+let prop_translation_class_sizes_divide =
+  QCheck.Test.make ~name:"translation classes have equal size per orbit type"
+    ~count:50
+    QCheck.(pair (int_range 3 12) (int_range 1 3))
+    (fun (n, k) ->
+      let c = Cayley.ring n in
+      let black = List.init (min k n) (fun i -> i * (n / (min k n))) in
+      let black = List.sort_uniq compare black in
+      let classes = Cayley.translation_classes c ~black in
+      (* classes partition the nodes *)
+      List.length (List.concat classes) = n
+      && List.for_all (fun cl -> cl <> []) classes)
+
+let prop_genset_closed_under_inverse =
+  QCheck.Test.make ~name:"genset closed under inverse" ~count:50
+    (QCheck.int_range 3 20)
+    (fun n ->
+      let g = Group.cyclic n in
+      let s = Genset.make g [ 1 ] in
+      List.for_all
+        (fun x -> List.mem (Group.inv g x) (Genset.elements s))
+        (Genset.elements s))
+
+let () =
+  Alcotest.run "group"
+    [
+      ( "groups",
+        [
+          Alcotest.test_case "cyclic" `Quick test_cyclic;
+          Alcotest.test_case "product" `Quick test_product;
+          Alcotest.test_case "power" `Quick test_power;
+          Alcotest.test_case "dihedral" `Quick test_dihedral;
+          Alcotest.test_case "symmetric" `Quick test_symmetric;
+          Alcotest.test_case "quaternion" `Quick test_quaternion;
+          Alcotest.test_case "semidirect shift" `Quick test_semidirect;
+          Alcotest.test_case "closure and generates" `Quick
+            test_closure_generates;
+          Alcotest.test_case "bad tables rejected" `Quick test_bad_tables;
+        ] );
+      ( "genset",
+        [
+          Alcotest.test_case "normalization" `Quick test_genset;
+          QCheck_alcotest.to_alcotest prop_genset_closed_under_inverse;
+        ] );
+      ( "cayley",
+        [
+          Alcotest.test_case "ring" `Quick test_cayley_ring;
+          Alcotest.test_case "hypercube" `Quick test_cayley_hypercube;
+          Alcotest.test_case "complete" `Quick test_cayley_complete;
+          Alcotest.test_case "torus/circulant/ccc/star" `Quick
+            test_cayley_torus_circulant_ccc;
+          Alcotest.test_case "natural labeling" `Quick
+            test_cayley_labeling_natural;
+          Alcotest.test_case "matches direct families" `Quick
+            test_cayley_structure_matches_families;
+        ] );
+      ( "translations",
+        [
+          Alcotest.test_case "are automorphisms" `Quick
+            test_translations_are_automorphisms;
+          Alcotest.test_case "classes: antipodal cycle" `Quick
+            test_translation_classes_cycle;
+          Alcotest.test_case "classes: asymmetric" `Quick
+            test_translation_classes_asymmetric;
+          Alcotest.test_case "classes: hypercube" `Quick
+            test_translation_classes_hypercube;
+          QCheck_alcotest.to_alcotest prop_translation_class_sizes_divide;
+        ] );
+    ]

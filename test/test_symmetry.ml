@@ -1,0 +1,570 @@
+module Graph = Qe_graph.Graph
+module Labeling = Qe_graph.Labeling
+module Bicolored = Qe_graph.Bicolored
+module Families = Qe_graph.Families
+module Cdigraph = Qe_symmetry.Cdigraph
+module Refine = Qe_symmetry.Refine
+module Canon = Qe_symmetry.Canon
+module Brute = Qe_symmetry.Brute
+module Aut = Qe_symmetry.Aut
+module Classes = Qe_symmetry.Classes
+module View = Qe_symmetry.View
+module Label_equiv = Qe_symmetry.Label_equiv
+module Cayley_detect = Qe_symmetry.Cayley_detect
+module Refine_labeling = Qe_symmetry.Refine_labeling
+module GCayley = Qe_group.Cayley
+
+let random_cdigraph st =
+  let n = 2 + Random.State.int st 5 in
+  let colors = Array.init n (fun _ -> Random.State.int st 2) in
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Random.State.float st 1.0 < 0.4 then
+        arcs :=
+          { Cdigraph.src = u; dst = v; color = Random.State.int st 2 }
+          :: !arcs
+    done
+  done;
+  Cdigraph.make ~n ~node_color:(fun u -> colors.(u)) !arcs
+
+let random_permutation st n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+(* --- Canonical labeling vs brute force --- *)
+
+let test_canon_invariant_under_relabeling () =
+  let st = Random.State.make [| 11 |] in
+  for _ = 1 to 40 do
+    let g = random_cdigraph st in
+    let perm = random_permutation st (Cdigraph.n g) in
+    let g' = Cdigraph.relabel g perm in
+    Alcotest.(check string) "certificate invariant" (Canon.certificate g)
+      (Canon.certificate g')
+  done
+
+let test_canon_agrees_with_brute () =
+  let st = Random.State.make [| 22 |] in
+  for _ = 1 to 30 do
+    let a = random_cdigraph st and b = random_cdigraph st in
+    Alcotest.(check bool) "iso decision matches brute force"
+      (Brute.isomorphic a b) (Canon.isomorphic a b)
+  done
+
+let test_canon_orbits_match_brute () =
+  let st = Random.State.make [| 33 |] in
+  for _ = 1 to 30 do
+    let g = random_cdigraph st in
+    Alcotest.(check (array int)) "orbits match brute force"
+      (Brute.orbits g) ((Canon.run g).orbits)
+  done
+
+let test_canon_distinguishes_non_isomorphic () =
+  let c6 = Cdigraph.of_graph (Families.cycle 6) in
+  let two_triangles =
+    Cdigraph.of_graph
+      (Graph.of_edges ~n:6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ])
+  in
+  Alcotest.(check bool) "C6 vs 2xC3" false
+    (Canon.isomorphic c6 two_triangles);
+  (* same degree sequence, non-isomorphic: C6 vs 2 triangles is the classic
+     1-WL-indistinguishable pair, so this exercises the backtracking. *)
+  Alcotest.(check bool) "brute agrees" false
+    (Brute.isomorphic c6 two_triangles)
+
+let test_canonical_form_equal_for_isomorphic () =
+  let st = Random.State.make [| 44 |] in
+  for _ = 1 to 20 do
+    let g = random_cdigraph st in
+    let perm = random_permutation st (Cdigraph.n g) in
+    let g' = Cdigraph.relabel g perm in
+    Alcotest.(check bool) "canonical forms equal" true
+      (Cdigraph.equal (Canon.canonical_form g) (Canon.canonical_form g'))
+  done
+
+(* --- Automorphism groups of known graphs --- *)
+
+let aut_order g = Aut.group_order (Cdigraph.of_graph g)
+
+let test_known_aut_orders () =
+  Alcotest.(check int) "Aut(C5) = D5 (order 10)" 10
+    (aut_order (Families.cycle 5));
+  Alcotest.(check int) "Aut(C6) = D6 (order 12)" 12
+    (aut_order (Families.cycle 6));
+  Alcotest.(check int) "Aut(P3) order 2" 2 (aut_order (Families.path 3));
+  Alcotest.(check int) "Aut(K4) = S4 (24)" 24 (aut_order (Families.complete 4));
+  Alcotest.(check int) "Aut(K5) = S5 (120)" 120
+    (aut_order (Families.complete 5));
+  Alcotest.(check int) "Aut(Q3) order 48" 48
+    (aut_order (Families.hypercube 3));
+  Alcotest.(check int) "Aut(Petersen) = S5 (120)" 120
+    (aut_order (Families.petersen ()));
+  Alcotest.(check int) "Aut(K3,3) order 72" 72
+    (aut_order (Families.complete_bipartite 3 3));
+  Alcotest.(check int) "Aut(star K1,4) = S4 (24)" 24
+    (aut_order (Families.star 4))
+
+let test_vertex_transitivity () =
+  let vt g = Aut.is_vertex_transitive (Cdigraph.of_graph g) in
+  Alcotest.(check bool) "cycle vt" true (vt (Families.cycle 7));
+  Alcotest.(check bool) "petersen vt" true (vt (Families.petersen ()));
+  Alcotest.(check bool) "hypercube vt" true (vt (Families.hypercube 3));
+  Alcotest.(check bool) "ccc3 vt" true
+    (vt (Families.cube_connected_cycles 3));
+  Alcotest.(check bool) "path not vt" false (vt (Families.path 4));
+  Alcotest.(check bool) "star not vt" false (vt (Families.star 3));
+  Alcotest.(check bool) "grid not vt" false (vt (Families.grid 2 3));
+  Alcotest.(check bool) "wheel not vt" false (vt (Families.wheel 5))
+
+let test_refine_rounds_bound () =
+  (* Norris: stabilisation within n - 1 rounds. *)
+  List.iter
+    (fun g ->
+      let dg = Cdigraph.of_graph g in
+      Alcotest.(check bool) "rounds <= n-1" true
+        (Refine.rounds_to_stability dg <= Graph.n g - 1))
+    [
+      Families.path 7;
+      Families.cycle 9;
+      Families.petersen ();
+      Families.binary_tree 3;
+      Families.random_connected ~seed:3 ~n:15 ~extra_edges:5;
+    ]
+
+(* --- Surrounding classes (Section 3) --- *)
+
+let sorted_sizes classes = List.sort compare (List.map List.length classes)
+
+let test_classes_cycle_antipodal () =
+  let b = Bicolored.make (Families.cycle 6) ~black:[ 0; 3 ] in
+  let t = Classes.compute b in
+  Alcotest.(check int) "one black class" 1 (Classes.num_black_classes t);
+  Alcotest.(check (list int)) "sizes [2;4]" [ 2; 4 ]
+    (sorted_sizes (Classes.classes t));
+  Alcotest.(check int) "gcd 2" 2 (Classes.gcd_sizes t)
+
+let test_classes_cycle_adjacent () =
+  (* adjacent agents on C6 break rotational symmetry but keep a
+     reflection *)
+  let b = Bicolored.make (Families.cycle 6) ~black:[ 0; 1 ] in
+  let t = Classes.compute b in
+  Alcotest.(check int) "gcd 2" 2 (Classes.gcd_sizes t);
+  (* reflection through the 0-1 edge identifies nodes pairwise: classes
+     {0,1}, {2,5}, {3,4} *)
+  Alcotest.(check (list int)) "sizes" [ 2; 2; 2 ]
+    (sorted_sizes (Classes.classes t))
+
+let test_classes_path_end () =
+  (* asymmetric: agent at one end of a path — everything rigid *)
+  let b = Bicolored.make (Families.path 4) ~black:[ 0 ] in
+  let t = Classes.compute b in
+  Alcotest.(check int) "4 singleton classes" 4 (Classes.num_classes t);
+  Alcotest.(check int) "gcd 1" 1 (Classes.gcd_sizes t)
+
+let test_classes_match_aut_orbits () =
+  (* Lemma 3.1's first claim: u ~ v iff S(u) iso S(v); cross-check the
+     surrounding-certificate classes against automorphism orbits. *)
+  let instances =
+    [
+      (Families.cycle 6, [ 0; 3 ]);
+      (Families.cycle 6, [ 0; 1 ]);
+      (Families.cycle 8, [ 0; 2 ]);
+      (Families.petersen (), [ 0; 1 ]);
+      (Families.hypercube 3, [ 0; 7 ]);
+      (Families.path 5, [ 1 ]);
+      (Families.binary_tree 2, [ 0 ]);
+      (Families.complete 5, [ 0; 1 ]);
+    ]
+  in
+  List.iter
+    (fun (g, black) ->
+      let b = Bicolored.make g ~black in
+      let from_surroundings =
+        List.sort compare
+          (List.map (List.sort compare) (Classes.classes (Classes.compute b)))
+      in
+      let from_orbits =
+        List.sort compare (Aut.orbit_partition (Cdigraph.of_bicolored b))
+      in
+      Alcotest.(check bool) "classes = orbits" true
+        (from_surroundings = from_orbits))
+    instances
+
+let test_classes_black_first_ordering () =
+  let b = Bicolored.make (Families.cycle 6) ~black:[ 0; 3 ] in
+  let t = Classes.compute b in
+  let cls = Classes.classes t in
+  Alcotest.(check (list (list int))) "black class first" [ [ 0; 3 ]; [ 1; 2; 4; 5 ] ] cls
+
+let test_classes_petersen_paper () =
+  (* The paper's Figure 5: two adjacent home-bases on Petersen give classes
+     of sizes 2, 4, 4 and gcd 2. *)
+  let b = Bicolored.make (Families.petersen ()) ~black:[ 0; 1 ] in
+  let t = Classes.compute b in
+  Alcotest.(check (list int)) "sizes 2,4,4" [ 2; 4; 4 ]
+    (sorted_sizes (Classes.classes t));
+  Alcotest.(check int) "gcd 2" 2 (Classes.gcd_sizes t)
+
+let test_gcd_all () =
+  Alcotest.(check int) "gcd of []" 0 (Classes.gcd_all []);
+  Alcotest.(check int) "gcd [6;4]" 2 (Classes.gcd_all [ 6; 4 ]);
+  Alcotest.(check int) "gcd [5;3]" 1 (Classes.gcd_all [ 5; 3 ]);
+  Alcotest.(check int) "gcd [8]" 8 (Classes.gcd_all [ 8 ])
+
+(* --- Views (Figure 2) --- *)
+
+let test_figure2_views_quantitative () =
+  let _, l = Families.figure2_path () in
+  (* All three views are pairwise distinct. *)
+  Alcotest.(check bool) "x vs y" false (View.equal_views l 0 1);
+  Alcotest.(check bool) "x vs z" false (View.equal_views l 0 2);
+  Alcotest.(check bool) "y vs z" false (View.equal_views l 1 2);
+  Alcotest.(check int) "three singleton classes" 3
+    (List.length (View.classes l));
+  Alcotest.(check int) "sigma 1" 1 (View.sigma l)
+
+let test_figure2c_views_equal_but_not_label_equiv () =
+  let _, l = Families.figure2c () in
+  (* All nodes share the same view... *)
+  Alcotest.(check bool) "x ~view y" true (View.equal_views l 0 1);
+  Alcotest.(check bool) "x ~view z" true (View.equal_views l 0 2);
+  Alcotest.(check int) "one view class" 1 (List.length (View.classes l));
+  Alcotest.(check int) "sigma 3" 3 (View.sigma l);
+  (* ...but no two are label-equivalent: the converse of Equation 1
+     fails. *)
+  Alcotest.(check bool) "x ~lab y fails" false (Label_equiv.equivalent l 0 1);
+  Alcotest.(check bool) "x ~lab z fails" false (Label_equiv.equivalent l 0 2);
+  Alcotest.(check int) "three label classes" 3
+    (List.length (Label_equiv.classes l))
+
+let test_view_tree_explicit () =
+  let _, l = Families.figure2_path () in
+  let tx = View.tree l ~depth:2 0 in
+  Alcotest.(check int) "x has one child" 1 (List.length tx.View.children);
+  let ty = View.tree l ~depth:2 1 in
+  Alcotest.(check int) "y has two children" 2 (List.length ty.View.children);
+  Alcotest.(check bool) "depth-0 trees all equal" true
+    (View.equal_trees (View.tree l ~depth:0 0) (View.tree l ~depth:0 2))
+
+let test_views_symmetric_ring () =
+  (* Symmetric standard-labeled even ring: sigma = n (all views equal)
+     under the rotation-invariant labeling where each node labels its
+     clockwise port 0 and counterclockwise port 1. *)
+  let g = Families.cycle 6 in
+  let l = Labeling.standard g in
+  (* standard labeling of our cycle construction: port 0 at node u is the
+     edge to (u+1) mod n except at node 0... just check classes have equal
+     sizes and sigma divides n. *)
+  let s = View.sigma l in
+  Alcotest.(check bool) "sigma divides n" true (6 mod s = 0)
+
+let test_equal_views_depth_monotone () =
+  let g = Families.cycle 8 in
+  let l = Labeling.shuffled ~seed:3 g in
+  for x = 0 to 7 do
+    for y = 0 to 7 do
+      (* if views are equal at full depth they are equal at lower depth *)
+      if View.equal_views l x y then
+        Alcotest.(check bool) "equal at depth 3" true
+          (View.equal_views_to_depth l ~depth:3 x y)
+    done
+  done
+
+(* --- Label equivalence (Lemma 2.1, Equation 1) --- *)
+
+let test_lemma21_same_size () =
+  (* label-equivalence classes all have the same size, for natural Cayley
+     labelings with various placements *)
+  let cases =
+    [
+      (GCayley.ring 8, [ 0; 4 ]);
+      (GCayley.ring 8, [ 0; 1 ]);
+      (GCayley.ring 9, [ 0; 3; 6 ]);
+      (GCayley.hypercube 3, [ 0; 7 ]);
+      (GCayley.torus 3 3, [ 0; 4; 8 ]);
+    ]
+  in
+  List.iter
+    (fun (c, black) ->
+      let b = Bicolored.make (GCayley.graph c) ~black in
+      let classes = Label_equiv.classes ~placement:b (GCayley.labeling c) in
+      Alcotest.(check bool) "all same size" true
+        (Label_equiv.all_same_size classes))
+    cases
+
+let test_equation1 () =
+  List.iter
+    (fun (l, placement) ->
+      Alcotest.(check bool) "~lab implies ~view" true
+        (Label_equiv.implies_same_view ?placement l))
+    [
+      (snd (Families.figure2_path ()), None);
+      (snd (Families.figure2c ()), None);
+      (GCayley.labeling (GCayley.ring 8), None);
+      ( GCayley.labeling (GCayley.ring 8),
+        Some (Bicolored.make (GCayley.graph (GCayley.ring 8)) ~black:[ 0; 4 ])
+      );
+    ]
+
+let test_natural_labeling_label_classes_are_translation_classes () =
+  (* Free-action consequence: for the natural Cayley labeling, the
+     label-preserving color-preserving automorphisms are exactly the
+     placement-preserving translations. *)
+  let cases =
+    [ (GCayley.ring 8, [ 0; 4 ]); (GCayley.hypercube 3, [ 0; 7 ]);
+      (GCayley.ring 12, [ 0; 2; 6; 8 ]) ]
+  in
+  List.iter
+    (fun (c, black) ->
+      let b = Bicolored.make (GCayley.graph c) ~black in
+      let lab_classes =
+        List.sort compare
+          (List.map (List.sort compare)
+             (Label_equiv.classes ~placement:b (GCayley.labeling c)))
+      in
+      let tr_classes =
+        List.sort compare
+          (List.map (List.sort compare)
+             (GCayley.translation_classes c ~black))
+      in
+      Alcotest.(check bool) "label classes = translation classes" true
+        (lab_classes = tr_classes))
+    cases
+
+(* --- Cayley recognition --- *)
+
+let test_recognize_positive () =
+  List.iter
+    (fun (name, g) ->
+      match Cayley_detect.recognize g with
+      | Cayley_detect.Cayley r ->
+          Alcotest.(check bool) (name ^ " verified") true
+            (Cayley_detect.verify g r)
+      | Cayley_detect.Not_cayley ->
+          Alcotest.failf "%s wrongly declared not Cayley" name
+      | Cayley_detect.Unknown msg -> Alcotest.failf "%s unknown: %s" name msg)
+    [
+      ("C7", Families.cycle 7);
+      ("C8", Families.cycle 8);
+      ("K5", Families.complete 5);
+      ("Q3", Families.hypercube 3);
+      ("torus 3x3", Families.torus 3 3);
+      ("circulant 10 {1,3}", Families.circulant 10 [ 1; 3 ]);
+      ("K3,3", Families.complete_bipartite 3 3);
+      ("prism C3xK2", Families.circulant 6 [ 2; 3 ]);
+    ]
+
+let test_recognize_negative () =
+  List.iter
+    (fun (name, g) ->
+      match Cayley_detect.recognize g with
+      | Cayley_detect.Not_cayley -> ()
+      | Cayley_detect.Cayley _ ->
+          Alcotest.failf "%s wrongly declared Cayley" name
+      | Cayley_detect.Unknown msg -> Alcotest.failf "%s unknown: %s" name msg)
+    [
+      ("Petersen", Families.petersen ());
+      ("path P4", Families.path 4);
+      ("star K1,3", Families.star 3);
+      ("wheel W5", Families.wheel 5);
+      ("grid 2x3", Families.grid 2 3);
+    ]
+
+let test_recognition_translation_classes () =
+  match Cayley_detect.recognize (Families.cycle 8) with
+  | Cayley_detect.Cayley r ->
+      let classes = Cayley_detect.translation_classes r ~black:[ 0; 4 ] in
+      Alcotest.(check (list int)) "sizes all 2" [ 2; 2; 2; 2 ]
+        (sorted_sizes classes)
+  | _ -> Alcotest.fail "C8 must be Cayley"
+
+let test_recognition_deterministic () =
+  (* Two runs on the same graph recover the identical group — agents must
+     agree. *)
+  let g = Families.hypercube 3 in
+  match (Cayley_detect.recognize g, Cayley_detect.recognize g) with
+  | Cayley_detect.Cayley a, Cayley_detect.Cayley b ->
+      Alcotest.(check bool) "same tables" true
+        (Qe_group.Group.isomorphic_as_tables a.group b.group);
+      Alcotest.(check (list int)) "same generators" a.generators b.generators
+  | _ -> Alcotest.fail "Q3 must be Cayley"
+
+(* --- Theorem 4.1 marking process --- *)
+
+let test_refine_labeling_c8_antipodal () =
+  let t = Refine_labeling.run (GCayley.ring 8) ~black:[ 0; 4 ] in
+  Alcotest.(check int) "gcd 2" 2 t.Refine_labeling.gcd;
+  Alcotest.(check bool) "monotone" true (Refine_labeling.monotone_refinement t);
+  Alcotest.(check bool) "translations preserved" true
+    (Refine_labeling.translations_always_refine t);
+  Alcotest.(check bool) "final sizes" true
+    (Refine_labeling.all_final_size_gcd t);
+  Alcotest.(check bool) "final = translation classes" true
+    (Refine_labeling.final_equals_translation_classes t);
+  (* the ~ classes of C8 with antipodal blacks are NOT uniform (reflections
+     merge), so at least one marking step is required *)
+  Alcotest.(check bool) "at least one step" true
+    (List.length t.Refine_labeling.steps >= 1)
+
+let test_refine_labeling_various () =
+  List.iter
+    (fun (c, black, expected_gcd) ->
+      let t = Refine_labeling.run c ~black in
+      Alcotest.(check int) "gcd" expected_gcd t.Refine_labeling.gcd;
+      Alcotest.(check bool) "monotone" true
+        (Refine_labeling.monotone_refinement t);
+      Alcotest.(check bool) "translations preserved" true
+        (Refine_labeling.translations_always_refine t);
+      Alcotest.(check bool) "final sizes" true
+        (Refine_labeling.all_final_size_gcd t);
+      Alcotest.(check bool) "final = translation classes" true
+        (Refine_labeling.final_equals_translation_classes t))
+    [
+      (GCayley.ring 8, [ 0; 4 ], 2);
+      (GCayley.ring 8, [ 0; 1 ], 1);
+      (GCayley.ring 12, [ 0; 4; 8 ], 3);
+      (GCayley.ring 12, [ 0; 2; 6; 8 ], 2);
+      (GCayley.hypercube 3, [ 0; 7 ], 2);
+      (GCayley.torus 3 3, [ 0 ], 1);
+      (GCayley.hypercube 2, [ 0; 1; 2; 3 ], 4);
+    ]
+
+(* --- Surroundings --- *)
+
+let test_surrounding_root_indegree () =
+  (* u is the unique node with in-degree 0 in S(u) (for simple graphs
+     where u has no equidistant neighbors... in general u always has
+     in-degree 0 since d(u,u)=0 <= d(u,y) strictly less for neighbors). *)
+  let b = Bicolored.make (Families.petersen ()) ~black:[ 0 ] in
+  for u = 0 to 9 do
+    let s = Cdigraph.of_surrounding b u in
+    Alcotest.(check (list (pair int int))) "root has no in-arcs" []
+      (Cdigraph.in_arcs s u)
+  done
+
+let test_surrounding_iso_iff_equivalent () =
+  let b = Bicolored.make (Families.cycle 6) ~black:[ 0; 3 ] in
+  (* 1 and 2 are equivalent (reflection+rotation), 0 and 1 are not (colors
+     differ) *)
+  Alcotest.(check bool) "1 ~ 2" true (Classes.equivalent b 1 2);
+  Alcotest.(check bool) "0 !~ 1" false (Classes.equivalent b 0 1);
+  Alcotest.(check bool) "0 ~ 3" true (Classes.equivalent b 0 3)
+
+let prop_canon_random_relabel =
+  QCheck.Test.make ~name:"random digraphs: certificate iso-invariant"
+    ~count:60
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let g = random_cdigraph st in
+      let perm = random_permutation st (Cdigraph.n g) in
+      String.equal (Canon.certificate g)
+        (Canon.certificate (Cdigraph.relabel g perm)))
+
+let prop_aut_group_closed =
+  QCheck.Test.make ~name:"automorphism group closed under composition"
+    ~count:20
+    QCheck.(int_bound 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let g = random_cdigraph st in
+      let autos = Aut.group g in
+      let compose a b = Array.init (Array.length a) (fun i -> a.(b.(i))) in
+      List.for_all
+        (fun a ->
+          List.for_all (fun b -> List.mem (compose a b) autos) autos)
+        (match autos with _ :: _ :: _ -> autos | _ -> autos))
+
+let () =
+  Alcotest.run "symmetry"
+    [
+      ( "canon",
+        [
+          Alcotest.test_case "invariant under relabeling" `Quick
+            test_canon_invariant_under_relabeling;
+          Alcotest.test_case "agrees with brute force" `Quick
+            test_canon_agrees_with_brute;
+          Alcotest.test_case "orbits match brute force" `Quick
+            test_canon_orbits_match_brute;
+          Alcotest.test_case "C6 vs two triangles" `Quick
+            test_canon_distinguishes_non_isomorphic;
+          Alcotest.test_case "canonical forms equal" `Quick
+            test_canonical_form_equal_for_isomorphic;
+          QCheck_alcotest.to_alcotest prop_canon_random_relabel;
+        ] );
+      ( "aut",
+        [
+          Alcotest.test_case "known group orders" `Quick
+            test_known_aut_orders;
+          Alcotest.test_case "vertex transitivity" `Quick
+            test_vertex_transitivity;
+          Alcotest.test_case "refinement rounds bound" `Quick
+            test_refine_rounds_bound;
+          QCheck_alcotest.to_alcotest prop_aut_group_closed;
+        ] );
+      ( "classes",
+        [
+          Alcotest.test_case "cycle antipodal" `Quick
+            test_classes_cycle_antipodal;
+          Alcotest.test_case "cycle adjacent" `Quick
+            test_classes_cycle_adjacent;
+          Alcotest.test_case "path end" `Quick test_classes_path_end;
+          Alcotest.test_case "match automorphism orbits" `Quick
+            test_classes_match_aut_orbits;
+          Alcotest.test_case "black classes first" `Quick
+            test_classes_black_first_ordering;
+          Alcotest.test_case "petersen (paper fig 5)" `Quick
+            test_classes_petersen_paper;
+          Alcotest.test_case "gcd helper" `Quick test_gcd_all;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "figure 2 quantitative" `Quick
+            test_figure2_views_quantitative;
+          Alcotest.test_case "figure 2c qualitative" `Quick
+            test_figure2c_views_equal_but_not_label_equiv;
+          Alcotest.test_case "explicit trees" `Quick test_view_tree_explicit;
+          Alcotest.test_case "symmetric ring sigma" `Quick
+            test_views_symmetric_ring;
+          Alcotest.test_case "depth monotonicity" `Quick
+            test_equal_views_depth_monotone;
+        ] );
+      ( "label_equiv",
+        [
+          Alcotest.test_case "lemma 2.1 same sizes" `Quick
+            test_lemma21_same_size;
+          Alcotest.test_case "equation 1" `Quick test_equation1;
+          Alcotest.test_case "natural labeling = translation classes" `Quick
+            test_natural_labeling_label_classes_are_translation_classes;
+        ] );
+      ( "cayley_detect",
+        [
+          Alcotest.test_case "positives verified" `Quick
+            test_recognize_positive;
+          Alcotest.test_case "negatives" `Quick test_recognize_negative;
+          Alcotest.test_case "translation classes" `Quick
+            test_recognition_translation_classes;
+          Alcotest.test_case "deterministic" `Quick
+            test_recognition_deterministic;
+        ] );
+      ( "refine_labeling",
+        [
+          Alcotest.test_case "C8 antipodal" `Quick
+            test_refine_labeling_c8_antipodal;
+          Alcotest.test_case "sweep" `Quick test_refine_labeling_various;
+        ] );
+      ( "surroundings",
+        [
+          Alcotest.test_case "root in-degree 0" `Quick
+            test_surrounding_root_indegree;
+          Alcotest.test_case "iso iff equivalent" `Quick
+            test_surrounding_iso_iff_equivalent;
+        ] );
+    ]
