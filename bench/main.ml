@@ -849,53 +849,87 @@ let sigma_explorer () =
      label-equivalence classes), which is why no impossibility proof\n\
      applies there and the ad-hoc protocol can win."
 
-(* ---------- Bechamel micro-benchmarks ---------- *)
+(* ---------- tracked perf benchmark (Bechamel + BENCH_N.json) ---------- *)
+
+(* Bumped once per PR that changes the perf landscape; the emitted
+   BENCH_<n>.json files at the repo root form the tracked trajectory. *)
+let bench_revision = 1
+
+let write_bench_json path ~times ~leaves =
+  let buf = Buffer.create 1024 in
+  let entry fmt (name, v) = Printf.bprintf buf fmt name v in
+  let obj fmt kvs =
+    let first = ref true in
+    List.iter
+      (fun kv ->
+        if not !first then Buffer.add_string buf ",\n";
+        first := false;
+        Buffer.add_string buf "    ";
+        entry fmt kv)
+      kvs;
+    Buffer.add_char buf '\n'
+  in
+  Buffer.add_string buf "{\n";
+  Printf.bprintf buf "  \"schema\": \"qelect-bench-v1\",\n";
+  Printf.bprintf buf "  \"revision\": %d,\n" bench_revision;
+  Printf.bprintf buf "  \"unit\": \"ns_per_run\",\n";
+  Buffer.add_string buf "  \"benchmarks\": {\n";
+  obj "%S: %.1f" times;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"leaves_visited\": {\n";
+  obj "%S: %d" leaves;
+  Buffer.add_string buf "  }\n}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf))
 
 let perf () =
-  section "Micro-benchmarks (Bechamel, monotonic clock)";
+  section "Perf: symmetry kernel and runtime (Bechamel, monotonic clock)";
   let open Bechamel in
-  let canon_petersen () =
-    ignore
-      (Qe_symmetry.Canon.certificate
-         (Qe_symmetry.Cdigraph.of_graph (Families.petersen ())))
-  in
-  let canon_q4 () =
-    ignore
-      (Qe_symmetry.Canon.certificate
-         (Qe_symmetry.Cdigraph.of_graph (Families.hypercube 4)))
-  in
-  let classes_c12 () =
-    ignore
-      (Qe_symmetry.Classes.compute
-         (Bicolored.make (Families.cycle 12) ~black:[ 0; 1; 5 ]))
-  in
-  let views_q4 () =
-    ignore (View.classes (Labeling.standard (Families.hypercube 4)))
-  in
-  let recognize_q3 () =
-    ignore (Qe_symmetry.Cayley_detect.recognize (Families.hypercube 3))
-  in
-  let elect_c8 () =
-    ignore (run_simple (Families.cycle 8) [ 0; 3 ] Elect.protocol)
-  in
-  let elect_petersen () =
-    ignore (run_simple (Families.petersen ()) [ 0; 1 ] Elect.protocol)
-  in
-  let quantitative_q3 () =
-    ignore (run_simple (Families.hypercube 3) [ 0; 7 ] Quantitative.protocol)
+  let q4 = Qe_symmetry.Cdigraph.of_graph (Families.hypercube 4) in
+  let pet = Qe_symmetry.Cdigraph.of_graph (Families.petersen ()) in
+  let c32 = Qe_symmetry.Cdigraph.of_graph (Families.cycle 32) in
+  let t66 = Qe_symmetry.Cdigraph.of_graph (Families.torus 6 6) in
+  let t66_marked = Bicolored.make (Families.torus 6 6) ~black:[ 0; 7 ] in
+  let c12_marked = Bicolored.make (Families.cycle 12) ~black:[ 0; 1; 5 ] in
+  let cases =
+    [
+      ( "refine_equitable/Q4",
+        fun () -> ignore (Qe_symmetry.Refine.equitable q4) );
+      ( "refine_equitable/torus6x6",
+        fun () -> ignore (Qe_symmetry.Refine.equitable t66) );
+      ( "refine_equitable/petersen",
+        fun () -> ignore (Qe_symmetry.Refine.equitable pet) );
+      ( "refine_equitable/C32",
+        fun () -> ignore (Qe_symmetry.Refine.equitable c32) );
+      ( "canon_certificate/Q4",
+        fun () -> ignore (Qe_symmetry.Canon.certificate q4) );
+      ( "canon_certificate/petersen",
+        fun () -> ignore (Qe_symmetry.Canon.certificate pet) );
+      ( "canon_certificate/torus6x6",
+        fun () -> ignore (Qe_symmetry.Canon.certificate t66) );
+      ( "classes_compute/torus6x6",
+        fun () -> ignore (Qe_symmetry.Classes.compute t66_marked) );
+      ( "classes_compute/C12",
+        fun () -> ignore (Qe_symmetry.Classes.compute c12_marked) );
+      ( "elect/C8",
+        fun () -> ignore (run_simple (Families.cycle 8) [ 0; 3 ] Elect.protocol)
+      );
+      ( "elect/petersen",
+        fun () ->
+          ignore (run_simple (Families.petersen ()) [ 0; 1 ] Elect.protocol) );
+      ( "elect/Q4",
+        fun () ->
+          ignore (run_simple (Families.hypercube 4) [ 0; 1 ] Elect.protocol) );
+      ( "elect/torus6x6",
+        fun () ->
+          ignore (run_simple (Families.torus 6 6) [ 0; 7 ] Elect.protocol) );
+    ]
   in
   let tests =
-    Test.make_grouped ~name:"qelect"
-      [
-        Test.make ~name:"canon/petersen" (Staged.stage canon_petersen);
-        Test.make ~name:"canon/Q4" (Staged.stage canon_q4);
-        Test.make ~name:"classes/C12" (Staged.stage classes_c12);
-        Test.make ~name:"views/Q4" (Staged.stage views_q4);
-        Test.make ~name:"cayley-recognize/Q3" (Staged.stage recognize_q3);
-        Test.make ~name:"elect/C8-antipodal" (Staged.stage elect_c8);
-        Test.make ~name:"elect/petersen" (Staged.stage elect_petersen);
-        Test.make ~name:"quantitative/Q3" (Staged.stage quantitative_q3);
-      ]
+    Test.make_grouped ~name:"perf"
+      (List.map
+         (fun (name, f) -> Test.make ~name (Staged.stage f))
+         cases)
   in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
@@ -904,20 +938,48 @@ let perf () =
       (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
       Toolkit.Instance.monotonic_clock raw
   in
-  let rows = ref [] in
+  let strip name =
+    match String.index_opt name '/' with
+    | Some i when String.sub name 0 i = "perf" ->
+        String.sub name (i + 1) (String.length name - i - 1)
+    | _ -> name
+  in
+  let times = ref [] in
   Hashtbl.iter
     (fun name ols ->
-      let est =
-        match Analyze.OLS.estimates ols with
-        | Some [ t ] -> Printf.sprintf "%11.0f ns" t
-        | Some l ->
-            String.concat ","
-              (List.map (fun t -> Printf.sprintf "%.0f" t) l)
-        | None -> "n/a"
-      in
-      rows := [ name; est ] :: !rows)
+      match Analyze.OLS.estimates ols with
+      | Some [ t ] -> times := (strip name, t) :: !times
+      | _ -> ())
     results;
-  print_table [ "benchmark"; "time/run" ] (List.sort compare !rows)
+  let times = List.sort compare !times in
+  print_table [ "benchmark"; "time/run" ]
+    (List.map
+       (fun (name, t) -> [ name; Printf.sprintf "%11.0f ns" t ])
+       times);
+  (* search-tree sizes: the invariant-pruning half of the speedup *)
+  let tri_c6 =
+    (* two triangles then a 6-cycle: the branch with the smaller
+       invariant comes first, so pruning cuts the later subtrees *)
+    Qe_symmetry.Cdigraph.of_graph
+      (Graph.of_edges ~n:12
+         [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3);
+           (6, 7); (7, 8); (8, 9); (9, 10); (10, 11); (11, 6) ])
+  in
+  let leaves =
+    List.map
+      (fun (name, g) ->
+        (name, (Qe_symmetry.Canon.run g).Qe_symmetry.Canon.leaves_visited))
+      [
+        ("canon/Q4", q4); ("canon/petersen", pet); ("canon/torus6x6", t66);
+        ("canon/2triangles+C6", tri_c6);
+      ]
+  in
+  print_endline "";
+  print_table [ "search"; "leaves visited" ]
+    (List.map (fun (n, l) -> [ n; string_of_int l ]) leaves);
+  let out = Printf.sprintf "BENCH_%d.json" bench_revision in
+  write_bench_json out ~times ~leaves;
+  Printf.printf "\nwrote %s\n" out
 
 (* ---------- driver ---------- *)
 

@@ -18,10 +18,6 @@ let t_own p j = Printf.sprintf "own:%d:%d" p j
 let t_leader = "leader"
 let t_failed = "failed"
 
-let has_prefix ~prefix s =
-  String.length s >= String.length prefix
-  && String.sub s 0 (String.length prefix) = prefix
-
 (* a = q*b + rho with 0 < rho <= b (the paper's division convention) *)
 let div_pos a b =
   let q = (a - 1) / b in
@@ -65,7 +61,7 @@ let run_on_map plan_of (ctx : Protocol.ctx) map =
       obs.board
   in
   let board_has_prefix prefix (obs : Protocol.observation) =
-    List.exists (fun s -> has_prefix ~prefix s.Sign.tag) obs.board
+    List.exists (fun s -> String.starts_with ~prefix s.Sign.tag) obs.board
   in
 
   (* -- movement helpers -- *)
@@ -176,24 +172,27 @@ let run_on_map plan_of (ctx : Protocol.ctx) map =
 
   and waiter_loop p s0 w0 min_round =
     go_home ();
+    (* the tag prefixes only depend on [p]: build them once, not on every
+       observation the wait predicate sees *)
+    let match_prefix = t_match_prefix p in
+    let over_prefix = t_over_prefix p in
+    let over_len = String.length over_prefix in
     let next_event =
       Nav.wait_here nav (fun obs ->
           if board_has_foreign t_leader obs then
             Some (`Verdict Protocol.Defeated)
           else if board_has t_failed obs then
             Some (`Verdict Protocol.Election_failed)
-          else if board_has_prefix (t_match_prefix p) obs then Some `Matched
+          else if board_has_prefix match_prefix obs then Some `Matched
           else
             (* an "over" sign for a round >= min_round promotes me *)
             let round_over =
               List.filter_map
                 (fun s ->
-                  if has_prefix ~prefix:(t_over_prefix p) s.Sign.tag then
+                  if String.starts_with ~prefix:over_prefix s.Sign.tag then
                     int_of_string_opt
-                      (String.sub s.Sign.tag
-                         (String.length (t_over_prefix p))
-                         (String.length s.Sign.tag
-                         - String.length (t_over_prefix p)))
+                      (String.sub s.Sign.tag over_len
+                         (String.length s.Sign.tag - over_len))
                   else None)
                 obs.board
               |> List.filter (fun j -> j + 1 >= min_round)

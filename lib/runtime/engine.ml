@@ -54,6 +54,9 @@ type agent = {
   mutable loc : int;
   mutable entry : Symbol.t option;
   mutable status : status;
+  mutable runnable : bool;
+      (* dirty bit kept in sync with [status] and board revisions so the
+         scheduler never rescans the whiteboards *)
   mutable last_enabled : int;
   mutable moves : int;
   mutable posts : int;
@@ -89,12 +92,21 @@ type state = {
   seed : int;
   on_event : event -> unit;
   mutable clock : int;  (* bumps on every enablement change *)
+  mutable num_runnable : int;
+  mutable picks : int;  (* scheduler picks — drives Lifo fairness *)
 }
+
+let set_runnable st a b =
+  if a.runnable <> b then begin
+    a.runnable <- b;
+    st.num_runnable <- (st.num_runnable + if b then 1 else -1)
+  end
 
 let enable st a resume_status =
   st.clock <- st.clock + 1;
   a.last_enabled <- st.clock;
-  a.status <- resume_status
+  a.status <- resume_status;
+  set_runnable st a true
 
 (* Agent-specific presentation order of the ports at a node. *)
 let presentation_order st a node =
@@ -137,17 +149,32 @@ let wake_sleepers_at st node =
       | _ -> ())
     st.agents
 
+(* A board-revision bump makes every agent waiting on that board runnable;
+   marking them here (rather than re-checking revisions in the scheduler)
+   is what lets [pick_agent] trust the dirty bits. *)
+let wake_waiters_at st node =
+  Array.iter
+    (fun b ->
+      match b.status with
+      | Waiting (_, rev)
+        when b.loc = node && Whiteboard.revision st.boards.(node) > rev ->
+          set_runnable st b true
+      | _ -> ())
+    st.agents
+
 let do_post st a tag body =
   a.posts <- a.posts + 1;
   Whiteboard.post st.boards.(a.loc)
     (Sign.make ~color:a.color ~tag ~body ());
   st.on_event (Posted { agent = a.color; node = a.loc; tag });
-  wake_sleepers_at st a.loc
+  wake_sleepers_at st a.loc;
+  wake_waiters_at st a.loc
 
 let do_erase st a tag =
   a.erases <- a.erases + 1;
   let count = Whiteboard.erase st.boards.(a.loc) ~color:a.color ~tag in
   st.on_event (Erased { agent = a.color; node = a.loc; tag; count });
+  if count > 0 then wake_waiters_at st a.loc;
   count
 
 let do_move st a sym =
@@ -171,6 +198,7 @@ let do_move st a sym =
 
 let finish st a v =
   a.status <- Finished v;
+  set_runnable st a false;
   st.on_event (Halted { agent = a.color; verdict = v })
 
 let start_agent st a (proto : Protocol.t) =
@@ -216,80 +244,97 @@ let start_agent st a (proto : Protocol.t) =
               Some
                 (fun (k : (b, unit) continuation) ->
                   a.status <-
-                    Waiting (k, Whiteboard.revision st.boards.(a.loc)))
+                    Waiting (k, Whiteboard.revision st.boards.(a.loc));
+                  set_runnable st a false)
           | Script.Internal.Halt v ->
               Some (fun (_k : (b, unit) continuation) -> finish st a v)
           | _ -> None);
     }
 
-let runnable st a =
-  match a.status with
-  | Ready _ -> true
-  | Waiting (_, rev) -> Whiteboard.revision st.boards.(a.loc) > rev
-  | Asleep | Finished _ -> false
-
 let take_turn st proto a =
   a.turns <- a.turns + 1;
+  let mark_running () =
+    (* placeholder replaced by the real verdict inside start_agent /
+       the resumed continuation *)
+    a.status <- Finished (Aborted "re-entered");
+    set_runnable st a false
+  in
   match a.status with
   | Ready Start ->
-      a.status <- Finished (Aborted "re-entered");
-      (* placeholder replaced by the real verdict inside start_agent *)
+      mark_running ();
       start_agent st a proto
   | Ready (Resume k) ->
-      a.status <- Finished (Aborted "re-entered");
+      mark_running ();
       Effect.Deep.continue k (make_obs st a)
   | Waiting (k, _) ->
-      a.status <- Finished (Aborted "re-entered");
+      mark_running ();
       Effect.Deep.continue k (make_obs st a)
   | Asleep | Finished _ -> assert false
 
+(* Allocation-free selection: the dirty bits plus [num_runnable] replace
+   the per-turn candidates list; every strategy is a bounded scan of the
+   agents array. *)
 let pick_agent st strategy rr_cursor rng =
   let n = Array.length st.agents in
-  let candidates =
-    Array.to_list st.agents |> List.filter (fun a -> runnable st a)
-  in
-  match candidates with
-  | [] -> None
-  | _ -> (
-      match strategy with
-      | Round_robin ->
-          let rec find offset =
-            let a = st.agents.((!rr_cursor + offset) mod n) in
-            if runnable st a then begin
-              rr_cursor := (a.idx + 1) mod n;
-              Some a
-            end
-            else find (offset + 1)
-          in
-          find 0
-      | Random_fair _ ->
-          let len = List.length candidates in
-          Some (List.nth candidates (Random.State.int rng len))
-      | Lifo ->
-          (* Most-recently-enabled first, with a fairness injection: every
-             16th pick goes to the oldest-enabled agent instead, so no
-             agent starves (the model assumes fair scheduling). *)
-          if st.clock mod 16 = 0 then
-            Some
-              (List.fold_left
-                 (fun best a ->
-                   if a.last_enabled < best.last_enabled then a else best)
-                 (List.hd candidates) candidates)
-          else
-            Some
-              (List.fold_left
-                 (fun best a ->
-                   if a.last_enabled > best.last_enabled then a else best)
-                 (List.hd candidates) candidates)
-      | Fifo_mailbox ->
-          Some
-            (List.fold_left
-               (fun best a ->
-                 if a.last_enabled < best.last_enabled then a else best)
-               (List.hd candidates) candidates)
-      | Synchronous ->
-          (* handled by the round loop in [run]; fallback here *)
-          Some (List.hd candidates))
+  if st.num_runnable = 0 then None
+  else begin
+    st.picks <- st.picks + 1;
+    match strategy with
+    | Round_robin ->
+        let rec find offset =
+          let a = st.agents.((!rr_cursor + offset) mod n) in
+          if a.runnable then begin
+            rr_cursor := (a.idx + 1) mod n;
+            Some a
+          end
+          else find (offset + 1)
+        in
+        find 0
+    | Random_fair _ ->
+        let r = ref (Random.State.int rng st.num_runnable) in
+        let chosen = ref None in
+        Array.iter
+          (fun a ->
+            if a.runnable && !chosen = None then
+              if !r = 0 then chosen := Some a else decr r)
+          st.agents;
+        !chosen
+    | Lifo ->
+        (* Most-recently-enabled first, with a fairness injection: every
+           16th pick goes to the oldest-enabled agent instead, so no
+           agent starves (the model assumes fair scheduling). *)
+        let oldest_wins = st.picks mod 16 = 0 in
+        let best = ref None in
+        Array.iter
+          (fun a ->
+            if a.runnable then
+              match !best with
+              | None -> best := Some a
+              | Some b ->
+                  if
+                    if oldest_wins then a.last_enabled < b.last_enabled
+                    else a.last_enabled > b.last_enabled
+                  then best := Some a)
+          st.agents;
+        !best
+    | Fifo_mailbox ->
+        let best = ref None in
+        Array.iter
+          (fun a ->
+            if a.runnable then
+              match !best with
+              | None -> best := Some a
+              | Some b ->
+                  if a.last_enabled < b.last_enabled then best := Some a)
+          st.agents;
+        !best
+    | Synchronous ->
+        (* handled by the round loop in [run]; fallback here *)
+        Array.fold_left
+          (fun acc a ->
+            match acc with Some _ -> acc | None -> if a.runnable then Some a else None)
+          None st.agents
+  end
 
 let collect_result st max_turns_hit turns =
   let verdicts =
@@ -374,6 +419,7 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
           loc = World.home_of_agent world i;
           entry = None;
           status = Asleep;
+          runnable = false;
           last_enabled = 0;
           moves = 0;
           posts = 0;
@@ -382,7 +428,10 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
           turns = 0;
         })
   in
-  let st = { world; boards; agents; seed; on_event; clock = 0 } in
+  let st =
+    { world; boards; agents; seed; on_event; clock = 0; num_runnable = 0;
+      picks = 0 }
+  in
   (* The environment marks every home-base with a sign of the owner's
      color before anything runs. *)
   Array.iter
@@ -415,13 +464,13 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
       let continue_running = ref true in
       while !continue_running && not !max_hit do
         let round =
-          Array.to_list st.agents |> List.filter (fun a -> runnable st a)
+          Array.to_list st.agents |> List.filter (fun a -> a.runnable)
         in
         if round = [] then continue_running := false
         else
           List.iter
             (fun a ->
-              if runnable st a && not !max_hit then begin
+              if a.runnable && not !max_hit then begin
                 incr turns;
                 if !turns > max_turns then max_hit := true
                 else take_turn st proto a

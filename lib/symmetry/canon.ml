@@ -25,15 +25,132 @@ module Uf = struct
       if rx < ry then uf.(ry) <- rx else uf.(rx) <- ry
 end
 
-let leaf_certificate g p = Cdigraph.certificate_of_identity (Cdigraph.relabel g p)
+(* Growable int buffer for the best invariant path. *)
+module Ibuf = struct
+  type t = { mutable a : int array; mutable len : int }
+
+  let create () = { a = Array.make 256 0; len = 0 }
+
+  let push b x =
+    if b.len = Array.length b.a then begin
+      let a' = Array.make (2 * Array.length b.a) 0 in
+      Array.blit b.a 0 a' 0 b.len;
+      b.a <- a'
+    end;
+    b.a.(b.len) <- x;
+    b.len <- b.len + 1
+end
+
+let rec sort_sub (a : int array) lo hi =
+  if hi - lo < 16 then
+    for i = lo + 1 to hi - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  else begin
+    let mid = (lo + hi) / 2 in
+    let pivot =
+      let x = a.(lo) and y = a.(mid) and z = a.(hi - 1) in
+      if x < y then if y < z then y else max x z
+      else if x < z then x
+      else max y z
+    in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while a.(!i) < pivot do incr i done;
+      while a.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        let t = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- t;
+        incr i;
+        decr j
+      end
+    done;
+    sort_sub a lo (!j + 1);
+    sort_sub a !i hi
+  end
+
+let compare_int_arrays (a : int array) (b : int array) =
+  let la = Array.length a and lb = Array.length b in
+  let l = min la lb in
+  let rec go i =
+    if i = l then Stdlib.compare la lb
+    else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+    else go (i + 1)
+  in
+  go 0
 
 let run ?(max_leaves = 200_000) g =
   let n = Cdigraph.n g in
+  (* --- per-graph arc arrays for fast leaf certificates --- *)
+  let arcs = Cdigraph.arcs g in
+  let m = List.length arcs in
+  let asrc = Array.make (max 1 m) 0 in
+  let adst = Array.make (max 1 m) 0 in
+  let acol = Array.make (max 1 m) 0 in
+  List.iteri
+    (fun i (a : Cdigraph.arc) ->
+      asrc.(i) <- a.src;
+      adst.(i) <- a.dst;
+      acol.(i) <- a.color)
+    arcs;
+  let kcol = 1 + Array.fold_left max 0 acol in
+  let colors = Array.init n (Cdigraph.node_color g) in
+  (* Leaf certificate as an int array: node colors in canonical order,
+     then arcs packed as ((src' * n + dst') * kcol + color), sorted.
+     Leaves of the same graph compare lexicographically; the string form
+     (built once at the end) prefixes n, m and kcol so certificates stay
+     injective across graphs. *)
+  let cert_len = n + m in
+  let scratch = Array.make (max 1 cert_len) 0 in
+  let leaf_cert p =
+    for u = 0 to n - 1 do
+      scratch.(p.(u)) <- colors.(u)
+    done;
+    for i = 0 to m - 1 do
+      scratch.(n + i) <- ((((p.(asrc.(i)) * n) + p.(adst.(i))) * kcol) + acol.(i))
+    done;
+    sort_sub scratch n cert_len;
+    scratch
+  in
+  (* --- search state --- *)
   let best_cert = ref None in
   let best_label = ref [||] in
   let generators = ref [] in
   let uf = Uf.create n in
   let leaves = ref 0 in
+  (* Best invariant path: the concatenated per-level invariants
+     ([num cells; cell sizes...] per tree node) of the most promising
+     root-to-leaf prefix found so far. A node whose level invariant is
+     lexicographically greater than the recorded one cannot contain the
+     canonical leaf and is pruned; a node with a smaller one truncates
+     the record, invalidates the best leaf and starts refilling. The
+     invariant is isomorphism-invariant, so the surviving minimal leaf —
+     and hence the certificate — still is too. *)
+  let best_path = Ibuf.create () in
+  let seg = Array.make (n + 1) 0 in
+  let sizes = Array.make (max 1 n) 0 in
+  let level_invariant p =
+    (* fills [seg] with [k; size_1; ...; size_k]; returns its length *)
+    Array.fill sizes 0 n 0;
+    let k = ref 0 in
+    Array.iter
+      (fun c ->
+        sizes.(c) <- sizes.(c) + 1;
+        if c + 1 > !k then k := c + 1)
+      p;
+    seg.(0) <- !k;
+    for c = 0 to !k - 1 do
+      seg.(c + 1) <- sizes.(c)
+    done;
+    !k + 1
+  in
   (* Composition: automorphism mapping node u to the node v such that
      best.(v) = current.(u). *)
   let automorphism_of_leaves p_best p_cur =
@@ -49,79 +166,132 @@ let run ?(max_leaves = 200_000) g =
       Array.iteri (fun u v -> Uf.union uf u v) phi
     end
   in
-  (* Does some recorded generator stabilize [prefix] pointwise and map x to
-     y? We use the orbit of x under the prefix-stabilizing subgroup,
-     computed by closure over the stored generators. *)
-  let orbit_under_stabilizer prefix x =
-    let stab_gens =
-      List.filter
-        (fun phi -> List.for_all (fun w -> phi.(w) = w) prefix)
-        !generators
-    in
-    let seen = Hashtbl.create 8 in
-    Hashtbl.add seen x ();
-    let q = Queue.create () in
-    Queue.add x q;
-    while not (Queue.is_empty q) do
-      let y = Queue.pop q in
-      List.iter
-        (fun phi ->
-          if not (Hashtbl.mem seen phi.(y)) then begin
-            Hashtbl.add seen phi.(y) ();
-            Queue.add phi.(y) q
-          end)
-        stab_gens
-    done;
-    seen
+  (* Orbit pruning: candidate [v] may be skipped when its orbit under the
+     subgroup stabilizing [prefix] pointwise meets an already-tried node
+     (orbit membership is symmetric, so one BFS from [v] suffices).
+     Scratch arrays are generation-stamped to avoid clearing. *)
+  let seen = Array.make (max 1 n) (-1) in
+  let bfsq = Array.make (max 1 n) 0 in
+  let stamp = ref 0 in
+  let orbit_meets_tried prefix tried v =
+    match tried with
+    | [] -> false
+    | _ ->
+        let stab_gens =
+          List.filter
+            (fun phi -> List.for_all (fun w -> phi.(w) = w) prefix)
+            !generators
+        in
+        incr stamp;
+        let s = !stamp in
+        seen.(v) <- s;
+        bfsq.(0) <- v;
+        let head = ref 0 and tail = ref 1 in
+        let hit = ref false in
+        while (not !hit) && !head < !tail do
+          let y = bfsq.(!head) in
+          incr head;
+          if List.mem y tried then hit := true
+          else
+            List.iter
+              (fun phi ->
+                let z = phi.(y) in
+                if seen.(z) <> s then begin
+                  seen.(z) <- s;
+                  bfsq.(!tail) <- z;
+                  incr tail
+                end)
+              stab_gens
+        done;
+        !hit
   in
-  let rec search p prefix =
-    if Refine.is_discrete p then begin
-      incr leaves;
-      if !leaves > max_leaves then raise Budget_exceeded;
-      let cert = leaf_certificate g p in
-      match !best_cert with
-      | None ->
-          best_cert := Some cert;
-          best_label := Array.copy p
-      | Some bc ->
-          let cmp = String.compare cert bc in
-          if cmp < 0 then begin
-            best_cert := Some cert;
-            best_label := Array.copy p
-          end
-          else if cmp = 0 then
-            record_automorphism (automorphism_of_leaves !best_label p)
+  (* [off] is this node's offset into the best invariant path; returns
+     the child offset, or -1 to prune the subtree. *)
+  let check_invariant off seglen =
+    if off = best_path.Ibuf.len then begin
+      (* new territory (an ancestor truncated, or first descent) *)
+      for i = 0 to seglen - 1 do
+        Ibuf.push best_path seg.(i)
+      done;
+      off + seglen
     end
     else begin
-      (* Target: the first non-singleton cell. *)
-      let cells = Refine.cell_members p in
-      let target =
-        let rec find i =
-          match cells.(i) with
-          | _ :: _ :: _ -> cells.(i)
-          | _ -> find (i + 1)
-        in
-        find 0
+      let stored = best_path.Ibuf.a in
+      let limit = min best_path.Ibuf.len (off + seglen) in
+      let rec cmp i =
+        if off + i >= limit then 0
+        else if seg.(i) <> stored.(off + i) then
+          Stdlib.compare seg.(i) stored.(off + i)
+        else cmp (i + 1)
       in
-      let tried = ref [] in
-      List.iter
-        (fun v ->
-          let skip =
-            List.exists
-              (fun w -> Hashtbl.mem (orbit_under_stabilizer prefix w) v)
-              !tried
-          in
-          if not skip then begin
-            tried := v :: !tried;
-            let p' = Refine.fixpoint g (Refine.split p v) in
-            search p' (v :: prefix)
-          end)
-        target
+      let c = cmp 0 in
+      if c > 0 then -1
+      else if c = 0 then off + seglen
+      else begin
+        (* strictly better branch: re-anchor the record here *)
+        best_path.Ibuf.len <- off;
+        for i = 0 to seglen - 1 do
+          Ibuf.push best_path seg.(i)
+        done;
+        best_cert := None;
+        off + seglen
+      end
     end
   in
-  search (Refine.equitable g) [];
-  let certificate =
+  let rec search p prefix off =
+    let seglen = level_invariant p in
+    let off' = check_invariant off seglen in
+    if off' >= 0 then begin
+      if Refine.is_discrete p then begin
+        incr leaves;
+        if !leaves > max_leaves then raise Budget_exceeded;
+        let cert = leaf_cert p in
+        match !best_cert with
+        | None ->
+            best_cert := Some (Array.copy cert);
+            best_label := Array.copy p
+        | Some bc ->
+            let cmp = compare_int_arrays cert bc in
+            if cmp < 0 then begin
+              best_cert := Some (Array.copy cert);
+              best_label := Array.copy p
+            end
+            else if cmp = 0 then
+              record_automorphism (automorphism_of_leaves !best_label p)
+      end
+      else begin
+        (* Target: the first non-singleton cell. *)
+        let target = Refine.first_non_singleton p in
+        let tried = ref [] in
+        List.iter
+          (fun v ->
+            if not (orbit_meets_tried prefix !tried v) then begin
+              tried := v :: !tried;
+              let p' = Refine.fixpoint g (Refine.split p v) in
+              search p' (v :: prefix) off'
+            end)
+          target
+      end
+    end
+  in
+  search (Refine.equitable g) [] 0;
+  let cert_ints =
     match !best_cert with Some c -> c | None -> assert false
+  in
+  let certificate =
+    let buf = Buffer.create (16 + (8 * cert_len)) in
+    Buffer.add_string buf (string_of_int n);
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (string_of_int m);
+    Buffer.add_char buf '|';
+    Buffer.add_string buf (string_of_int kcol);
+    Buffer.add_char buf '|';
+    Array.iter
+      (fun x ->
+        Buffer.add_string buf (string_of_int x);
+        Buffer.add_char buf ',')
+      cert_ints;
+    Buffer.contents buf
   in
   let orbits = Array.init n (fun u -> Uf.find uf u) in
   {

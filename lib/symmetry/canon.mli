@@ -1,5 +1,5 @@
 (** Canonical labeling of colored digraphs, by individualization–refinement
-    with automorphism pruning (a small nauty).
+    with automorphism and node-invariant pruning (a small nauty).
 
     Lemma 3.1 of the paper orders bi-colored digraphs by the minimum
     adjacency-matrix word over all [n!] numberings. That brute-force order
@@ -7,7 +7,12 @@
     isomorphism-invariant certificate (deterministic, equal exactly on
     isomorphic digraphs), so its lexicographic order is a valid instance of
     the total order [≺] the protocol needs. The brute-force reference lives
-    in {!Brute} and the two are cross-checked in tests. *)
+    in {!Brute} and the two are cross-checked in tests.
+
+    Internally the search compares leaves as packed int arrays
+    (stringified once at the API boundary) and cuts subtrees whose
+    per-level cell-size invariant already exceeds the best path's — see
+    DESIGN.md §7 for why both pruning rules preserve canonicity. *)
 
 exception Budget_exceeded
 (** Raised when the search visits more leaves than allowed. *)

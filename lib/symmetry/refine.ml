@@ -1,54 +1,477 @@
 type partition = int array
 
-let rank_assign keys =
-  (* Given an array of comparable keys, return the array of dense ranks
-     (0-based) of each key in sorted order of distinct keys. *)
-  let distinct = List.sort_uniq compare (Array.to_list keys) in
-  let index = Hashtbl.create (List.length distinct) in
-  List.iteri (fun i k -> Hashtbl.add index k i) distinct;
-  Array.map (fun k -> Hashtbl.find index k) keys
+(* ------------------------------------------------------------------ *)
+(* CSR adjacency, built once per graph and cached (graphs are
+   immutable, so physical equality is a sound cache key; Canon calls
+   fixpoint thousands of times on the same graph). *)
 
-let initial g =
-  rank_assign (Array.init (Cdigraph.n g) (Cdigraph.node_color g))
+type csr = {
+  n : int;
+  out_off : int array;  (* length n+1; arcs leaving u at out_off.(u).. *)
+  out_dst : int array;
+  out_col : int array;
+  in_off : int array;
+  in_src : int array;
+  in_col : int array;
+}
 
-let step g p =
+let build_csr g =
   let n = Cdigraph.n g in
-  let signature u =
-    let outs =
-      List.sort compare
-        (List.map (fun (v, c) -> (c, p.(v))) (Cdigraph.out_arcs g u))
+  let out_off = Array.make (n + 1) 0 and in_off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    out_off.(u + 1) <- out_off.(u) + List.length (Cdigraph.out_arcs g u);
+    in_off.(u + 1) <- in_off.(u) + List.length (Cdigraph.in_arcs g u)
+  done;
+  let out_dst = Array.make (max 1 out_off.(n)) 0 in
+  let out_col = Array.make (max 1 out_off.(n)) 0 in
+  let in_src = Array.make (max 1 in_off.(n)) 0 in
+  let in_col = Array.make (max 1 in_off.(n)) 0 in
+  for u = 0 to n - 1 do
+    let i = ref out_off.(u) in
+    List.iter
+      (fun (v, c) ->
+        out_dst.(!i) <- v;
+        out_col.(!i) <- c;
+        incr i)
+      (Cdigraph.out_arcs g u);
+    let j = ref in_off.(u) in
+    List.iter
+      (fun (v, c) ->
+        in_src.(!j) <- v;
+        in_col.(!j) <- c;
+        incr j)
+      (Cdigraph.in_arcs g u)
+  done;
+  { n; out_off; out_dst; out_col; in_off; in_src; in_col }
+
+let csr_cache : (Cdigraph.t * csr) option ref = ref None
+
+let csr_of g =
+  match !csr_cache with
+  | Some (g0, c) when g0 == g -> c
+  | _ ->
+      let c = build_csr g in
+      csr_cache := Some (g, c);
+      c
+
+(* ------------------------------------------------------------------ *)
+(* Small int utilities (monomorphic — no polymorphic compare anywhere
+   on the hot path). *)
+
+let rec sort_sub (a : int array) lo hi =
+  (* sort a.(lo..hi-1) ascending; insertion sort under 16, else
+     median-of-ends quicksort *)
+  if hi - lo < 16 then
+    for i = lo + 1 to hi - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  else begin
+    let mid = (lo + hi) / 2 in
+    let pivot =
+      let x = a.(lo) and y = a.(mid) and z = a.(hi - 1) in
+      if x < y then if y < z then y else max x z
+      else if x < z then x
+      else max y z
     in
-    let ins =
-      List.sort compare
-        (List.map (fun (v, c) -> (c, p.(v))) (Cdigraph.in_arcs g u))
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while a.(!i) < pivot do incr i done;
+      while a.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        let t = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- t;
+        incr i;
+        decr j
+      end
+    done;
+    sort_sub a lo (!j + 1);
+    sort_sub a !i hi
+  end
+
+let rec sort_sub_by (a : int array) (key : int array) lo hi =
+  (* sort a.(lo..hi-1) ascending by key.(a.(i)) *)
+  if hi - lo < 16 then
+    for i = lo + 1 to hi - 1 do
+      let x = a.(i) in
+      let kx = key.(x) in
+      let j = ref (i - 1) in
+      while !j >= lo && key.(a.(!j)) > kx do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  else begin
+    let mid = (lo + hi) / 2 in
+    let pivot =
+      let x = key.(a.(lo)) and y = key.(a.(mid)) and z = key.(a.(hi - 1)) in
+      if x < y then if y < z then y else max x z
+      else if x < z then x
+      else max y z
     in
-    (p.(u), outs, ins)
-  in
-  rank_assign (Array.init n signature)
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while key.(a.(!i)) < pivot do incr i done;
+      while key.(a.(!j)) > pivot do decr j done;
+      if !i <= !j then begin
+        let t = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- t;
+        incr i;
+        decr j
+      end
+    done;
+    sort_sub_by a key lo (!j + 1);
+    sort_sub_by a key !i hi
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Scratch workspace, grown on demand and reused across calls. *)
+
+type ws = {
+  mutable elements : int array;   (* nodes in partition order *)
+  mutable cell_of : int array;    (* node -> start index of its cell *)
+  mutable cell_len : int array;   (* start index -> cell length *)
+  mutable on_stack : bool array;  (* start index -> queued as splitter? *)
+  mutable stack : int array;      (* worklist of cell start indices *)
+  mutable cnt : int array;        (* node -> count w.r.t. current group *)
+  mutable touched : int array;    (* nodes with nonzero cnt *)
+  mutable tcells : int array;     (* starts of cells containing touched *)
+  mutable tmark : bool array;     (* start index -> already in tcells? *)
+  mutable arcbuf : int array;     (* packed (color, node) incident arcs *)
+}
+
+let ws =
+  {
+    elements = [||];
+    cell_of = [||];
+    cell_len = [||];
+    on_stack = [||];
+    stack = [||];
+    cnt = [||];
+    touched = [||];
+    tcells = [||];
+    tmark = [||];
+    arcbuf = [||];
+  }
+
+let ensure_ws n marcs =
+  if Array.length ws.elements < n then begin
+    ws.elements <- Array.make n 0;
+    ws.cell_of <- Array.make n 0;
+    ws.cell_len <- Array.make n 0;
+    ws.on_stack <- Array.make n false;
+    ws.stack <- Array.make n 0;
+    ws.cnt <- Array.make n 0;
+    ws.touched <- Array.make n 0;
+    ws.tcells <- Array.make n 0;
+    ws.tmark <- Array.make n false
+  end;
+  if Array.length ws.arcbuf < marcs then ws.arcbuf <- Array.make (max 1 marcs) 0
+
+(* ------------------------------------------------------------------ *)
 
 let num_cells p =
   Array.fold_left (fun acc c -> max acc (c + 1)) 0 p
 
-let fixpoint g p0 =
-  let rec go p =
-    let p' = step g p in
-    if num_cells p' = num_cells p then p else go p'
+(* The worklist refiner. Maintains an ordered partition as contiguous
+   segments of [elements]; a cell is identified by the start index of
+   its segment. Processing splitter cell S splits every cell whose
+   members see S unequally, one (direction, arc color) group at a time
+   (equitability is a per-(direction, color) condition, so sequential
+   splitting refines exactly as the combined signature does). Fragments
+   of a split cell are ordered by ascending count — an
+   isomorphism-invariant rule, so the final cell numbering is invariant
+   like the old global-signature numbering was. Worklist discipline is
+   Hopcroft's: a split cell that is still queued is replaced by all its
+   fragments; otherwise all fragments but the largest are queued
+   (counts against the parent are the sum of counts against the
+   fragments, so the last fragment's splits are implied). *)
+let refine_worklist csr (p0 : partition) : partition =
+  let n = csr.n in
+  ensure_ws n (Array.length csr.out_dst + Array.length csr.in_src);
+  let elements = ws.elements
+  and cell_of = ws.cell_of
+  and cell_len = ws.cell_len
+  and on_stack = ws.on_stack
+  and stack = ws.stack
+  and cnt = ws.cnt
+  and touched = ws.touched
+  and tcells = ws.tcells
+  and tmark = ws.tmark in
+  let sp = ref 0 in
+  let push s =
+    if not on_stack.(s) then begin
+      on_stack.(s) <- true;
+      stack.(!sp) <- s;
+      incr sp
+    end
   in
-  go p0
+  (* --- seed the ordered partition from p0 (dense ids, invariant) --- *)
+  let k0 = num_cells p0 in
+  for c = 0 to k0 - 1 do
+    cnt.(c) <- 0
+  done;
+  Array.iter (fun c -> cnt.(c) <- cnt.(c) + 1) p0;
+  (* prefix sums -> cell start per id, then place nodes *)
+  let acc = ref 0 in
+  for c = 0 to k0 - 1 do
+    let sz = cnt.(c) in
+    cnt.(c) <- !acc;
+    acc := !acc + sz
+  done;
+  for u = 0 to n - 1 do
+    let c = p0.(u) in
+    let pos = cnt.(c) in
+    elements.(pos) <- u;
+    cnt.(c) <- pos + 1
+  done;
+  for c = 0 to k0 - 1 do
+    cnt.(c) <- 0
+  done;
+  let i = ref 0 in
+  while !i < n do
+    let s = !i in
+    let c = p0.(elements.(s)) in
+    let j = ref s in
+    while !j < n && p0.(elements.(!j)) = c do
+      cell_of.(elements.(!j)) <- s;
+      incr j
+    done;
+    cell_len.(s) <- !j - s;
+    on_stack.(s) <- false;
+    push s;
+    i := !j
+  done;
+  (* --- split one cell by the counts currently in [cnt] --- *)
+  let split_cell s =
+    let len = cell_len.(s) in
+    if len > 1 then begin
+      (* uniform counts => no split *)
+      let c0 = cnt.(elements.(s)) in
+      let uniform = ref true in
+      for j = s + 1 to s + len - 1 do
+        if cnt.(elements.(j)) <> c0 then uniform := false
+      done;
+      if not !uniform then begin
+        sort_sub_by elements cnt s (s + len);
+        (* fragment boundaries; fragments ordered by ascending count *)
+        let was_queued = on_stack.(s) in
+        let largest = ref s and largest_len = ref 0 in
+        let f = ref s in
+        while !f < s + len do
+          let kv = cnt.(elements.(!f)) in
+          let e = ref !f in
+          while !e < s + len && cnt.(elements.(!e)) = kv do
+            cell_of.(elements.(!e)) <- !f;
+            incr e
+          done;
+          cell_len.(!f) <- !e - !f;
+          on_stack.(!f) <- !f = s && was_queued;
+          if !e - !f > !largest_len then begin
+            largest := !f;
+            largest_len := !e - !f
+          end;
+          f := !e
+        done;
+        let f = ref s in
+        while !f < s + len do
+          if was_queued || !f <> !largest then push !f;
+          f := !f + cell_len.(!f)
+        done
+      end
+    end
+  in
+  (* --- process one direction of arcs incident to the splitter ---
+     [nb] packed (color * n + node) entries are in arcbuf. *)
+  let process_buffer nb =
+    if nb > 0 then begin
+      sort_sub ws.arcbuf 0 nb;
+      let arcbuf = ws.arcbuf in
+      let i = ref 0 in
+      while !i < nb do
+        let col = arcbuf.(!i) / n in
+        (* accumulate counts for this color group *)
+        let nt = ref 0 in
+        while !i < nb && arcbuf.(!i) / n = col do
+          let u = arcbuf.(!i) mod n in
+          if cnt.(u) = 0 then begin
+            touched.(!nt) <- u;
+            incr nt
+          end;
+          cnt.(u) <- cnt.(u) + 1;
+          incr i
+        done;
+        (* collect and sort affected cells (sorted for invariance) *)
+        let ntc = ref 0 in
+        for j = 0 to !nt - 1 do
+          let s = cell_of.(touched.(j)) in
+          if not tmark.(s) then begin
+            tmark.(s) <- true;
+            tcells.(!ntc) <- s;
+            incr ntc
+          end
+        done;
+        sort_sub tcells 0 !ntc;
+        for j = 0 to !ntc - 1 do
+          tmark.(tcells.(j)) <- false;
+          split_cell tcells.(j)
+        done;
+        for j = 0 to !nt - 1 do
+          cnt.(touched.(j)) <- 0
+        done
+      done
+    end
+  in
+  (* --- main loop --- *)
+  let arcbuf = ws.arcbuf in
+  while !sp > 0 do
+    decr sp;
+    let s = stack.(!sp) in
+    on_stack.(s) <- false;
+    let len = cell_len.(s) in
+    (* nodes with out-arcs INTO the splitter (walk its in-arcs) *)
+    let nb = ref 0 in
+    for j = s to s + len - 1 do
+      let v = elements.(j) in
+      for a = csr.in_off.(v) to csr.in_off.(v + 1) - 1 do
+        arcbuf.(!nb) <- (csr.in_col.(a) * n) + csr.in_src.(a);
+        incr nb
+      done
+    done;
+    process_buffer !nb;
+    (* nodes with in-arcs FROM the splitter (walk its out-arcs) *)
+    nb := 0;
+    for j = s to s + len - 1 do
+      let v = elements.(j) in
+      for a = csr.out_off.(v) to csr.out_off.(v + 1) - 1 do
+        arcbuf.(!nb) <- (csr.out_col.(a) * n) + csr.out_dst.(a);
+        incr nb
+      done
+    done;
+    process_buffer !nb
+  done;
+  (* --- emit dense invariant cell ids, left to right --- *)
+  let p = Array.make n 0 in
+  let idx = ref (-1) in
+  let i = ref 0 in
+  while !i < n do
+    incr idx;
+    let len = cell_len.(!i) in
+    for j = !i to !i + len - 1 do
+      p.(elements.(j)) <- !idx
+    done;
+    i := !i + len
+  done;
+  p
 
+(* ------------------------------------------------------------------ *)
+(* The public API. *)
+
+let rank_dense (keys : int array) : partition =
+  (* dense ranks of int keys (ascending); replaces the old
+     rank_assign + Hashtbl on the remaining cold paths *)
+  let n = Array.length keys in
+  let sorted = Array.copy keys in
+  sort_sub sorted 0 n;
+  (* unique in place *)
+  let k = ref 0 in
+  for i = 0 to n - 1 do
+    if i = 0 || sorted.(i) <> sorted.(!k - 1) then begin
+      sorted.(!k) <- sorted.(i);
+      incr k
+    end
+  done;
+  let rank key =
+    let lo = ref 0 and hi = ref (!k - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if sorted.(mid) < key then lo := mid + 1 else hi := mid
+    done;
+    !lo
+  in
+  Array.map rank keys
+
+let initial g =
+  rank_dense (Array.init (Cdigraph.n g) (Cdigraph.node_color g))
+
+(* One global 1-WL round, semantically identical to the historical
+   implementation (new cells ordered by (old cell, out-signature,
+   in-signature)), but on packed int arrays with monomorphic compares
+   instead of tuple lists under polymorphic [compare]. Kept as the
+   reference round for View depth queries and as the differential
+   baseline for the worklist refiner. *)
+let step g p =
+  let csr = csr_of g in
+  let n = csr.n in
+  let k = num_cells p in
+  (* signature of u: [| p.(u); sorted out keys; -1; sorted in keys |]
+     where key = color * k + p.(target); -1 separates so that a
+     prefix-shorter out-list sorts first, as the old list compare did *)
+  let sigs =
+    Array.init n (fun u ->
+        let od = csr.out_off.(u + 1) - csr.out_off.(u) in
+        let id = csr.in_off.(u + 1) - csr.in_off.(u) in
+        let s = Array.make (od + id + 2) (-1) in
+        s.(0) <- p.(u);
+        for a = 0 to od - 1 do
+          let b = csr.out_off.(u) + a in
+          s.(1 + a) <- (csr.out_col.(b) * k) + p.(csr.out_dst.(b))
+        done;
+        sort_sub s 1 (1 + od);
+        for a = 0 to id - 1 do
+          let b = csr.in_off.(u) + a in
+          s.(2 + od + a) <- (csr.in_col.(b) * k) + p.(csr.in_src.(b))
+        done;
+        sort_sub s (2 + od) (2 + od + id);
+        s)
+  in
+  let cmp u v =
+    let su = sigs.(u) and sv = sigs.(v) in
+    let lu = Array.length su and lv = Array.length sv in
+    let l = min lu lv in
+    let rec go i =
+      if i = l then Stdlib.compare lu lv
+      else if su.(i) <> sv.(i) then Stdlib.compare su.(i) sv.(i)
+      else go (i + 1)
+    in
+    go 0
+  in
+  let order = Array.init n Fun.id in
+  Array.sort cmp order;
+  let p' = Array.make n 0 in
+  let rank = ref 0 in
+  for i = 0 to n - 1 do
+    if i > 0 && cmp order.(i - 1) order.(i) <> 0 then incr rank;
+    p'.(order.(i)) <- !rank
+  done;
+  p'
+
+let fixpoint g p0 = refine_worklist (csr_of g) p0
 let equitable g = fixpoint g (initial g)
 
 let split p u =
-  (* u gets a cell of its own, ordered just before its old cellmates; all
-     cells renumbered densely preserving order, with u's new cell coming
-     first within the old cell's slot. *)
+  (* u gets a cell of its own, ordered just before its old cellmates;
+     cells renumbered densely preserving order. *)
   let n = Array.length p in
-  let keys =
+  let c = p.(u) in
+  let alone = ref true in
+  for v = 0 to n - 1 do
+    if v <> u && p.(v) = c then alone := false
+  done;
+  if !alone then Array.copy p
+  else
     Array.init n (fun v ->
-        (* (old cell, 0 if v = u else 1) orders u first in its cell *)
-        (p.(v), if v = u then 0 else 1))
-  in
-  rank_assign keys
+        if v = u then c
+        else if p.(v) < c then p.(v)
+        else p.(v) + 1)
 
 let singleton_start g u = fixpoint g (split (initial g) u)
 
@@ -59,6 +482,23 @@ let cell_members p =
     cells.(p.(u)) <- u :: cells.(p.(u))
   done;
   cells
+
+let first_non_singleton p =
+  (* members (ascending) of the lowest-id cell with >= 2 members, or []
+     if the partition is discrete — O(n), no per-cell lists *)
+  let n = Array.length p in
+  let count = Array.make n 0 in
+  Array.iter (fun c -> count.(c) <- count.(c) + 1) p;
+  let rec find c = if c >= n then -1 else if count.(c) >= 2 then c else find (c + 1) in
+  let c = find 0 in
+  if c < 0 then []
+  else begin
+    let members = ref [] in
+    for u = n - 1 downto 0 do
+      if p.(u) = c then members := u :: !members
+    done;
+    !members
+  end
 
 let is_discrete p = num_cells p = Array.length p
 

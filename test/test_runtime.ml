@@ -112,6 +112,30 @@ let wait_handshake =
         | None -> Protocol.Aborted "expected rank");
   }
 
+(* Starvation probe for the Lifo strategy: agent 1 ping-pongs forever (every
+   move re-enables it, so it is always the most recently enabled), agent 0
+   just wants one turn to halt. Without the every-16th-pick fairness
+   injection agent 0 would never be scheduled. *)
+let lifo_starvation_probe =
+  {
+    Protocol.name = "lifo-starvation-probe";
+    quantitative = true;
+    main =
+      (fun ctx ->
+        match ctx.rank with
+        | Some 0 ->
+            ignore (Script.observe ());
+            Protocol.Defeated
+        | Some _ ->
+            let rec go (obs : Protocol.observation) =
+              match obs.Protocol.ports with
+              | p :: _ -> go (Script.move p)
+              | [] -> Protocol.Aborted "isolated node"
+            in
+            go (Script.observe ())
+        | None -> Protocol.Aborted "expected rank");
+  }
+
 (* walk around a cycle exactly [laps] times by always leaving through the
    port we did not come in through *)
 let cycle_walker laps =
@@ -395,6 +419,23 @@ let test_mailbox_strategy_same_outcome () =
     (outcome (Engine.Random_fair 1));
   Alcotest.(check bool) "mailbox elects" true (outcome Engine.Fifo_mailbox)
 
+let test_lifo_no_starvation () =
+  let w = World.make (Families.complete 2) ~black:[ 0; 1 ] in
+  let r =
+    Engine.run ~strategy:Engine.Lifo ~max_turns:200 w lifo_starvation_probe
+  in
+  (* the mover never halts, so the run ends at the step limit... *)
+  Alcotest.(check bool) "run hits the step limit" true
+    (r.Engine.outcome = Engine.Step_limit);
+  (* ...but the fairness injection must have given the other agent its
+     turn well before that *)
+  Alcotest.(check bool) "every agent got a turn" true
+    (List.for_all
+       (fun ((_ : Color.t), (st : Engine.agent_stats)) -> st.turns > 0)
+       r.Engine.per_agent);
+  Alcotest.(check bool) "starved agent halted" true
+    (List.exists (fun (_, v) -> v = Protocol.Defeated) r.Engine.verdicts)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -414,6 +455,8 @@ let () =
           Alcotest.test_case "access accounting" `Quick test_stats_accesses;
           Alcotest.test_case "mailbox = fig 1" `Quick
             test_mailbox_strategy_same_outcome;
+          Alcotest.test_case "lifo fairness (no starvation)" `Quick
+            test_lifo_no_starvation;
         ] );
       ( "whiteboard",
         [ Alcotest.test_case "post/erase/revision" `Quick

@@ -457,6 +457,124 @@ let test_surrounding_iso_iff_equivalent () =
   Alcotest.(check bool) "0 !~ 1" false (Classes.equivalent b 0 1);
   Alcotest.(check bool) "0 ~ 3" true (Classes.equivalent b 0 3)
 
+(* --- Differential tests: worklist refiner vs the reference 1-WL round --- *)
+
+(* The naive reference refiner (the pre-worklist implementation, kept
+   verbatim): per-round global re-signature with tuple keys and
+   polymorphic compare. The production refiner must agree with it. *)
+module Naive = struct
+  let rank_assign keys =
+    let distinct = List.sort_uniq compare (Array.to_list keys) in
+    let index = Hashtbl.create (List.length distinct) in
+    List.iteri (fun i k -> Hashtbl.add index k i) distinct;
+    Array.map (fun k -> Hashtbl.find index k) keys
+
+  let step g p =
+    let signature u =
+      let outs =
+        List.sort compare
+          (List.map (fun (v, c) -> (c, p.(v))) (Cdigraph.out_arcs g u))
+      in
+      let ins =
+        List.sort compare
+          (List.map (fun (v, c) -> (c, p.(v))) (Cdigraph.in_arcs g u))
+      in
+      (p.(u), outs, ins)
+    in
+    rank_assign (Array.init (Cdigraph.n g) signature)
+
+  let num_cells p = Array.fold_left (fun acc c -> max acc (c + 1)) 0 p
+
+  let fixpoint g p0 =
+    let rec go p =
+      let p' = step g p in
+      if num_cells p' = num_cells p then p else go p'
+    in
+    go p0
+end
+
+(* Same cells, possibly different invariant numbering: compare kernels by
+   renumbering cells in order of first occurrence. *)
+let kernel p =
+  let next = ref 0 in
+  let map = Hashtbl.create 8 in
+  Array.map
+    (fun c ->
+      match Hashtbl.find_opt map c with
+      | Some r -> r
+      | None ->
+          let r = !next in
+          incr next;
+          Hashtbl.add map c r;
+          r)
+    p
+
+let random_start st g =
+  (* initial partition, with a couple of random individualizations so the
+     differential tests also exercise mid-search partitions *)
+  let p = ref (Refine.initial g) in
+  for _ = 1 to Random.State.int st 3 do
+    p := Refine.split !p (Random.State.int st (Cdigraph.n g))
+  done;
+  !p
+
+let prop_step_matches_naive =
+  QCheck.Test.make ~name:"worklist step = reference step (exact)" ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let g = random_cdigraph st in
+      let p = random_start st g in
+      Refine.step g p = Naive.step g p)
+
+let prop_fixpoint_matches_naive =
+  QCheck.Test.make ~name:"worklist fixpoint = reference fixpoint (cells)"
+    ~count:200
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let g = random_cdigraph st in
+      let p = random_start st g in
+      kernel (Refine.fixpoint g p) = kernel (Naive.fixpoint g p))
+
+(* --- Differential tests: Canon vs Brute on graphs up to 8 nodes --- *)
+
+let random_cdigraph_upto st nmax =
+  let n = 2 + Random.State.int st (nmax - 1) in
+  let colors = Array.init n (fun _ -> Random.State.int st 2) in
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Random.State.float st 1.0 < 0.4 then
+        arcs :=
+          { Cdigraph.src = u; dst = v; color = Random.State.int st 2 }
+          :: !arcs
+    done
+  done;
+  Cdigraph.make ~n ~node_color:(fun u -> colors.(u)) !arcs
+
+let prop_canon_iso_matches_brute_8 =
+  QCheck.Test.make ~name:"canon iso decision = brute (n <= 8)" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let a = random_cdigraph_upto st 8 in
+      (* half the time an actual relabeling, half an independent graph *)
+      let b =
+        if Random.State.bool st then
+          Cdigraph.relabel a (random_permutation st (Cdigraph.n a))
+        else random_cdigraph_upto st 8
+      in
+      Brute.isomorphic a b = Canon.isomorphic a b)
+
+let prop_canon_orbits_match_brute_8 =
+  QCheck.Test.make ~name:"canon orbits = brute orbits (n <= 8)" ~count:30
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let g = random_cdigraph_upto st 8 in
+      Brute.orbits g = (Canon.run g).orbits)
+
 let prop_canon_random_relabel =
   QCheck.Test.make ~name:"random digraphs: certificate iso-invariant"
     ~count:60
@@ -498,6 +616,13 @@ let () =
           Alcotest.test_case "canonical forms equal" `Quick
             test_canonical_form_equal_for_isomorphic;
           QCheck_alcotest.to_alcotest prop_canon_random_relabel;
+          QCheck_alcotest.to_alcotest prop_canon_iso_matches_brute_8;
+          QCheck_alcotest.to_alcotest prop_canon_orbits_match_brute_8;
+        ] );
+      ( "refine",
+        [
+          QCheck_alcotest.to_alcotest prop_step_matches_naive;
+          QCheck_alcotest.to_alcotest prop_fixpoint_matches_naive;
         ] );
       ( "aut",
         [
