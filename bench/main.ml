@@ -853,7 +853,7 @@ let sigma_explorer () =
 
 (* Bumped once per PR that changes the perf landscape; the emitted
    BENCH_<n>.json files at the repo root form the tracked trajectory. *)
-let bench_revision = 1
+let bench_revision = 2
 
 let write_bench_json path ~times ~leaves =
   let buf = Buffer.create 1024 in
@@ -968,7 +968,23 @@ let perf () =
   let leaves =
     List.map
       (fun (name, g) ->
-        (name, (Qe_symmetry.Canon.run g).Qe_symmetry.Canon.leaves_visited))
+        (* read the count from the telemetry registry and cross-check it
+           against the result field — the two paths must agree *)
+        let sink = Qe_obs.Sink.create () in
+        let r =
+          Qe_obs.Sink.with_ambient sink (fun () -> Qe_symmetry.Canon.run g)
+        in
+        let snap = Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics in
+        let counted =
+          match Qe_obs.Metrics.find snap "canon.leaves" with
+          | Some (Qe_obs.Metrics.Counter n) -> n
+          | _ -> -1
+        in
+        if counted <> r.Qe_symmetry.Canon.leaves_visited then
+          Printf.printf
+            "WARNING %s: telemetry says %d leaves, result says %d\n" name
+            counted r.Qe_symmetry.Canon.leaves_visited;
+        (name, counted))
       [
         ("canon/Q4", q4); ("canon/petersen", pet); ("canon/torus6x6", t66);
         ("canon/2triangles+C6", tri_c6);
@@ -980,6 +996,75 @@ let perf () =
   let out = Printf.sprintf "BENCH_%d.json" bench_revision in
   write_bench_json out ~times ~leaves;
   Printf.printf "\nwrote %s\n" out
+
+(* ---------- obs overhead: the disabled sink must be free ---------- *)
+
+let obs_overhead () =
+  section "Obs overhead: telemetry off vs metrics+spans vs full JSONL stream";
+  print_endline
+    "the same ELECT run under three sink configurations. 'off' is the\n\
+     default (no ?obs, no ambient sink): every probe is an untaken\n\
+     branch or a single ref read, so it must sit within noise of the\n\
+     pre-telemetry baseline.\n";
+  let open Bechamel in
+  let g = Families.cycle 8 and black = [ 0; 3 ] in
+  let run_with obs () =
+    let w = World.make g ~black in
+    ignore
+      (Engine.run ~strategy:(Engine.Random_fair 0) ~seed:0 ?obs w
+         Elect.protocol)
+  in
+  let metrics_sink = Qe_obs.Sink.create () in
+  let stream_sink =
+    (* a consumer that forces the encode without I/O: the cost measured
+       is instrumentation + serialization, not the disk *)
+    Qe_obs.Sink.create
+      ~on_line:(fun l -> ignore (Qe_obs.Jsonl.to_string (Qe_obs.Export.to_json l)))
+      ()
+  in
+  let ambient_run sink f () = Qe_obs.Sink.with_ambient sink f in
+  let cases =
+    [
+      ("off", run_with None);
+      ("metrics+spans", ambient_run metrics_sink (run_with (Some metrics_sink)));
+      ("full-stream", ambient_run stream_sink (run_with (Some stream_sink)));
+    ]
+  in
+  let tests =
+    Test.make_grouped ~name:"obs"
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases)
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let time_of want =
+    Hashtbl.fold
+      (fun name ols acc ->
+        if name = "obs/" ^ want then
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Some t
+          | _ -> acc
+        else acc)
+      results None
+  in
+  let base = time_of "off" in
+  print_table
+    [ "configuration"; "time/run"; "vs off" ]
+    (List.map
+       (fun (name, _) ->
+         match (time_of name, base) with
+         | Some t, Some b ->
+             [
+               name;
+               Printf.sprintf "%11.0f ns" t;
+               Printf.sprintf "%+.1f%%" (100. *. ((t /. b) -. 1.));
+             ]
+         | _ -> [ name; "?"; "?" ])
+       cases)
 
 (* ---------- driver ---------- *)
 
@@ -999,6 +1084,7 @@ let sections =
     ("yk_views", yk_views);
     ("sigma_explorer", sigma_explorer);
     ("perf", perf);
+    ("obs-overhead", obs_overhead);
   ]
 
 let () =

@@ -2,6 +2,7 @@
 
    Subcommands:
      run      execute a protocol on an instance
+     report   summarize a recorded trace file (see run --trace-out)
      analyze  class structure, gcd, predictions, Cayley recognition
      zoo      list the built-in instance suite
      dot      emit Graphviz for an instance
@@ -114,7 +115,8 @@ let outcome_str = function
 
 (* ---------- run ---------- *)
 
-let run_cmd file instance graph agents protocol strategy seed verbose trace =
+let run_cmd file instance graph agents protocol strategy seed verbose trace
+    trace_out stats =
   try
     let g, black, name = resolve_instance ?file ~instance ~graph ~agents () in
     let proto =
@@ -142,7 +144,24 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace =
           print_endline "  [trace truncated after 500 events]"
       end
     in
-    let r = Engine.run ~strategy:strat ~seed ~on_event world proto in
+    let oc = Option.map open_out trace_out in
+    let sink =
+      if stats || oc <> None then
+        Some
+          (Qe_obs.Sink.create
+             ?on_line:(Option.map (fun oc l -> Qe_obs.Export.write oc l) oc)
+             ())
+      else None
+    in
+    let exec () = Engine.run ~strategy:strat ~seed ~on_event ?obs:sink world proto in
+    let r =
+      (* ambient too, so refine/canon work triggered by the run (none for
+         the stock protocols today, but extensions may) is captured *)
+      match sink with
+      | None -> exec ()
+      | Some s -> Qe_obs.Sink.with_ambient s exec
+    in
+    Option.iter close_out oc;
     Printf.printf "%s on %s (n=%d, m=%d, r=%d, %s scheduler, seed %d)\n"
       protocol name (Graph.n g) (Graph.m g) (List.length black) strategy seed;
     Printf.printf "outcome: %s\n" (outcome_str r.Engine.outcome);
@@ -162,6 +181,130 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace =
             s.posts s.erases s.reads s.turns)
         r.Engine.per_agent
     end;
+    (match sink with
+    | Some s when stats ->
+        print_endline "";
+        print_endline "metrics:";
+        print_string
+          (Qe_obs.Metrics.render
+             (Qe_obs.Metrics.snapshot s.Qe_obs.Sink.metrics));
+        let roots = Qe_obs.Span.roots s.Qe_obs.Sink.spans in
+        if roots <> [] then begin
+          print_endline "spans:";
+          List.iter (fun c -> print_string (Qe_obs.Span.flame c)) roots
+        end
+    | _ -> ());
+    (match trace_out with
+    | Some path -> Printf.printf "trace written to %s\n" path
+    | None -> ());
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
+(* ---------- report ---------- *)
+
+let report_cmd path =
+  try
+    let lines =
+      match Qe_obs.Export.read_file path with
+      | Ok ls -> ls
+      | Error msg -> failwith (path ^ ": " ^ msg)
+    in
+    if lines = [] then failwith (path ^ ": empty trace");
+    let attr_str name attrs =
+      Option.bind (List.assoc_opt name attrs) Qe_obs.Jsonl.to_str
+    in
+    let counter_total snap name =
+      match Qe_obs.Metrics.find snap name with
+      | Some (Qe_obs.Metrics.Counter n) -> n
+      | _ -> 0
+    in
+    (* last metrics line wins: per-run snapshots are cumulative for their
+       sink, and a multi-run file uses one sink throughout *)
+    let last_snapshot =
+      List.fold_left
+        (fun acc l ->
+          match l with Qe_obs.Export.Metric_snapshot s -> Some s | _ -> acc)
+        None lines
+    in
+    let n_events = ref 0 in
+    let by_name = Hashtbl.create 8 in
+    let by_agent = Hashtbl.create 8 in
+    let tags = Hashtbl.create 16 in
+    List.iter
+      (function
+        | Qe_obs.Export.Meta { producer; attrs } ->
+            Printf.printf "run: %s (%s)\n" producer
+              (String.concat ", "
+                 (List.map
+                    (fun (k, v) ->
+                      Printf.sprintf "%s=%s" k
+                        (match v with
+                        | Qe_obs.Jsonl.String s -> s
+                        | v -> Qe_obs.Jsonl.to_string v))
+                    attrs))
+        | Qe_obs.Export.Event e ->
+            incr n_events;
+            Hashtbl.replace by_name e.Qe_obs.Export.name
+              (1
+              + Option.value ~default:0
+                  (Hashtbl.find_opt by_name e.Qe_obs.Export.name));
+            (match attr_str "agent" e.Qe_obs.Export.attrs with
+            | Some a ->
+                Hashtbl.replace by_agent a
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt by_agent a))
+            | None -> ());
+            if e.Qe_obs.Export.name = "posted" then (
+              match attr_str "tag" e.Qe_obs.Export.attrs with
+              | Some tag ->
+                  let p = Qe_runtime.Trace.tag_prefix tag in
+                  Hashtbl.replace tags p
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt tags p))
+              | None -> ())
+        | Qe_obs.Export.Span_tree _ | Qe_obs.Export.Metric_snapshot _ -> ())
+      lines;
+    let sorted tbl =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      |> List.sort (fun (ka, a) (kb, b) ->
+             if a <> b then compare b a else compare ka kb)
+    in
+    if !n_events > 0 then begin
+      Printf.printf "events: %d (%s)\n" !n_events
+        (String.concat ", "
+           (List.map (fun (k, v) -> Printf.sprintf "%d %s" v k)
+              (sorted by_name)));
+      if Hashtbl.length by_agent > 0 then
+        Printf.printf "events by agent: %s\n"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                (sorted by_agent)));
+      if Hashtbl.length tags > 0 then
+        Printf.printf "posts by tag: %s\n"
+          (String.concat ", "
+             (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+                (sorted tags)))
+    end;
+    List.iter
+      (function
+        | Qe_obs.Export.Span_tree c ->
+            print_endline "spans:";
+            print_string (Qe_obs.Span.flame c)
+        | _ -> ())
+      lines;
+    (match last_snapshot with
+    | Some snap ->
+        print_endline "metrics:";
+        print_string (Qe_obs.Metrics.render snap);
+        let moves = counter_total snap "engine.moves" in
+        let accesses =
+          counter_total snap "engine.posts"
+          + counter_total snap "engine.erases"
+          + counter_total snap "engine.reads"
+        in
+        let turns = counter_total snap "engine.turns" in
+        Printf.printf
+          "moves: %d, whiteboard accesses: %d, scheduler turns: %d\n" moves
+          accesses turns
+    | None -> ());
     `Ok ()
   with Failure msg -> `Error (false, msg)
 
@@ -254,15 +397,16 @@ let sweep_cmd protocol seeds =
     let records = Campaign.sweep ~seeds ~expected proto (Campaign.zoo ()) in
     print_endline
       "instance,family,protocol,strategy,seed,nodes,edges,agents,gcd,\
-       expected_elected,elected,conforms,moves,accesses,turns";
+       expected_elected,elected,conforms,moves,accesses,turns,wall_ns";
     List.iter
       (fun r ->
-        Printf.printf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%b,%b,%b,%d,%d,%d\n"
+        Printf.printf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%b,%b,%b,%d,%d,%d,%d\n"
           r.Campaign.inst.Campaign.name r.Campaign.inst.Campaign.family
           r.Campaign.protocol_name r.Campaign.strategy_name r.Campaign.seed
           r.Campaign.nodes r.Campaign.edges r.Campaign.agents r.Campaign.gcd
           r.Campaign.expected_elected r.Campaign.elected r.Campaign.conforms
-          r.Campaign.moves r.Campaign.accesses r.Campaign.turns)
+          r.Campaign.moves r.Campaign.accesses r.Campaign.turns
+          r.Campaign.wall_ns)
       records;
     let ok, total = Campaign.conformance_rate records in
     Printf.eprintf "# conformance: %d/%d\n" ok total;
@@ -293,11 +437,35 @@ let seed_arg = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Scheduler seed.")
 let verbose_arg = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Per-agent details.")
 let trace_arg = Arg.(value & flag & info [ "trace"; "t" ] ~doc:"Print the event timeline (first 500 events).")
 
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Write the full run telemetry (events, span tree, metrics) as \
+           JSONL to $(docv)."
+        ~docv:"FILE")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ] ~doc:"Print the metrics table and span summary.")
+
 let run_term =
   Term.(
     ret
       (const run_cmd $ file_arg $ instance_arg $ graph_arg $ agents_arg
-     $ protocol_arg $ strategy_arg $ seed_arg $ verbose_arg $ trace_arg))
+     $ protocol_arg $ strategy_arg $ seed_arg $ verbose_arg $ trace_arg
+     $ trace_out_arg $ stats_arg))
+
+let report_file_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~doc:"Trace file (JSONL, see run --trace-out)." ~docv:"FILE")
+
+let report_term = Term.(ret (const report_cmd $ report_file_arg))
 
 let analyze_term =
   Term.(
@@ -326,6 +494,10 @@ let cmds =
   [
     Cmd.v (Cmd.info "run" ~doc:"Run an election protocol on an instance")
       run_term;
+    Cmd.v
+      (Cmd.info "report"
+         ~doc:"Summarize a recorded trace file (events, spans, metrics)")
+      report_term;
     Cmd.v
       (Cmd.info "analyze"
          ~doc:"Class structure, gcd, predictions and Cayley recognition")

@@ -170,6 +170,7 @@ type record = {
   moves : int;
   accesses : int;
   turns : int;
+  wall_ns : int;
 }
 
 let strategies =
@@ -181,7 +182,7 @@ let strategies =
     ("synchronous", Engine.Synchronous);
   ]
 
-let run_one ?strategy ?(seed = 0) ~expected_elected inst proto =
+let run_one ?strategy ?obs ?(seed = 0) ~expected_elected inst proto =
   let strategy_name, strategy =
     match strategy with
     | Some (name, s) -> (
@@ -190,7 +191,7 @@ let run_one ?strategy ?(seed = 0) ~expected_elected inst proto =
     | None -> ("random", Engine.Random_fair seed)
   in
   let world = World.make inst.graph ~black:inst.black in
-  let result = Engine.run ~strategy ~seed world proto in
+  let result = Engine.run ~strategy ~seed ?obs world proto in
   let elected =
     match result.Engine.outcome with Engine.Elected _ -> true | _ -> false
   in
@@ -214,6 +215,7 @@ let run_one ?strategy ?(seed = 0) ~expected_elected inst proto =
     moves = result.Engine.total_moves;
     accesses = result.Engine.total_accesses;
     turns = result.Engine.scheduler_turns;
+    wall_ns = result.Engine.wall_time_ns;
   }
 
 let elect_expected inst = Oracle.gcd_classes (bicolored inst) = 1
@@ -230,6 +232,47 @@ let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ~expected proto
             seeds)
         strategies)
     instances
+
+type obs_report = {
+  per_instance : (string * Qe_obs.Metrics.snapshot) list;
+  total : Qe_obs.Metrics.snapshot;
+}
+
+let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ~expected
+    proto instances =
+  let per_instance = ref [] in
+  let records =
+    List.concat_map
+      (fun inst ->
+        let expected_elected = expected inst in
+        (* one sink per instance: engine counters arrive via ?obs, kernel
+           refine/canon counters via the ambient hook, so any symmetry
+           work triggered inside the runs lands in the same snapshot *)
+        let sink = Qe_obs.Sink.create () in
+        let rs =
+          Qe_obs.Sink.with_ambient sink (fun () ->
+              List.concat_map
+                (fun strat ->
+                  List.map
+                    (fun seed ->
+                      run_one ~strategy:strat ~obs:sink ~seed
+                        ~expected_elected inst proto)
+                    seeds)
+                strategies)
+        in
+        per_instance :=
+          (inst.name, Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics)
+          :: !per_instance;
+        rs)
+      instances
+  in
+  let per_instance = List.rev !per_instance in
+  let total =
+    List.fold_left
+      (fun acc (_, s) -> Qe_obs.Metrics.merge acc s)
+      [] per_instance
+  in
+  (records, { per_instance; total })
 
 let conformance_rate records =
   let total = List.length records in

@@ -41,6 +41,7 @@ type record = {
   moves : int;
   accesses : int;
   turns : int;
+  wall_ns : int;  (** monotonic wall time of the run *)
 }
 
 val strategies : (string * Qe_runtime.Engine.strategy) list
@@ -49,13 +50,15 @@ val strategies : (string * Qe_runtime.Engine.strategy) list
 
 val run_one :
   ?strategy:string * Qe_runtime.Engine.strategy ->
+  ?obs:Qe_obs.Sink.t ->
   ?seed:int ->
   expected_elected:bool ->
   instance ->
   Qe_runtime.Protocol.t ->
   record
 (** One execution; [expected_elected] is the theory's prediction for this
-    protocol on this instance. *)
+    protocol on this instance. [obs] is forwarded to
+    {!Qe_runtime.Engine.run}. *)
 
 val elect_expected : instance -> bool
 (** Theorem 3.1: ELECT elects iff the class gcd is 1. *)
@@ -68,6 +71,27 @@ val sweep :
   instance list ->
   record list
 (** Full matrix: instances x strategies x seeds. *)
+
+type obs_report = {
+  per_instance : (string * Qe_obs.Metrics.snapshot) list;
+      (** one snapshot per instance (all strategies and seeds pooled), in
+          sweep order *)
+  total : Qe_obs.Metrics.snapshot;
+      (** {!Qe_obs.Metrics.merge} of the per-instance snapshots: counters
+          and histograms summed, gauges maxed *)
+}
+
+val observed_sweep :
+  ?seeds:int list ->
+  ?strategies:(string * Qe_runtime.Engine.strategy) list ->
+  expected:(instance -> bool) ->
+  Qe_runtime.Protocol.t ->
+  instance list ->
+  record list * obs_report
+(** {!sweep} with telemetry: each instance's runs share a fresh
+    {!Qe_obs.Sink.t}, installed both as [Engine.run ~obs] and as the
+    ambient sink, so engine counters {e and} any [refine.*]/[canon.*]
+    kernel work triggered by the runs are captured together. *)
 
 val conformance_rate : record list -> int * int
 (** (conforming runs, total runs). *)

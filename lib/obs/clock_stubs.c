@@ -1,0 +1,20 @@
+/* Monotonic clock for telemetry timings.
+
+   Returns nanoseconds since an arbitrary epoch as a tagged OCaml int
+   (Val_long): no allocation, safe to call from [@@noalloc] externals.
+   63-bit nanoseconds overflow after ~146 years of uptime. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value qe_obs_monotonic_ns(value unit)
+{
+  (void)unit;
+  struct timespec ts;
+#ifdef CLOCK_MONOTONIC
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+#else
+  clock_gettime(CLOCK_REALTIME, &ts);
+#endif
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,206 @@
+let schema = "qelect-trace"
+let version = 1
+
+type event = {
+  seq : int;
+  name : string;
+  attrs : (string * Jsonl.value) list;
+}
+
+type line =
+  | Meta of { producer : string; attrs : (string * Jsonl.value) list }
+  | Event of event
+  | Span_tree of Span.closed
+  | Metric_snapshot of Metrics.snapshot
+
+(* ---------- encoding ---------- *)
+
+let rec span_to_json (s : Span.closed) =
+  Jsonl.Obj
+    [
+      ("name", Jsonl.String s.Span.name);
+      ("start_ns", Jsonl.Int s.Span.start_ns);
+      ("dur_ns", Jsonl.Int s.Span.dur_ns);
+      ("attrs", Jsonl.Obj s.Span.attrs);
+      ("children", Jsonl.List (List.map span_to_json s.Span.children));
+    ]
+
+let sample_to_json name (s : Metrics.sample) =
+  let common kind rest =
+    Jsonl.Obj ((("name", Jsonl.String name) :: ("type", Jsonl.String kind) :: rest))
+  in
+  match s with
+  | Metrics.Counter v -> common "counter" [ ("value", Jsonl.Int v) ]
+  | Metrics.Gauge v -> common "gauge" [ ("value", Jsonl.Int v) ]
+  | Metrics.Hist h ->
+      let ints a = Jsonl.List (Array.to_list (Array.map (fun i -> Jsonl.Int i) a)) in
+      common "histogram"
+        [
+          ("bounds", ints h.bounds);
+          ("counts", ints h.counts);
+          ("sum", Jsonl.Int h.sum);
+          ("count", Jsonl.Int h.count);
+        ]
+
+let to_json = function
+  | Meta { producer; attrs } ->
+      Jsonl.Obj
+        [
+          ("schema", Jsonl.String schema);
+          ("version", Jsonl.Int version);
+          ("kind", Jsonl.String "meta");
+          ("producer", Jsonl.String producer);
+          ("attrs", Jsonl.Obj attrs);
+        ]
+  | Event e ->
+      Jsonl.Obj
+        [
+          ("kind", Jsonl.String "event");
+          ("seq", Jsonl.Int e.seq);
+          ("name", Jsonl.String e.name);
+          ("attrs", Jsonl.Obj e.attrs);
+        ]
+  | Span_tree s ->
+      Jsonl.Obj [ ("kind", Jsonl.String "span"); ("span", span_to_json s) ]
+  | Metric_snapshot snap ->
+      Jsonl.Obj
+        [
+          ("kind", Jsonl.String "metrics");
+          ("samples", Jsonl.List (List.map (fun (n, s) -> sample_to_json n s) snap));
+        ]
+
+(* ---------- decoding ---------- *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let need what = function
+  | Some v -> Ok v
+  | None -> Error ("missing " ^ what)
+
+let get_int what v =
+  let* v = need what (Jsonl.member what v) in
+  need (what ^ ": int") (Jsonl.to_int v)
+
+let get_str what v =
+  let* v = need what (Jsonl.member what v) in
+  need (what ^ ": string") (Jsonl.to_str v)
+
+let get_attrs what v =
+  let* a = need what (Jsonl.member what v) in
+  match a with
+  | Jsonl.Obj kvs -> Ok kvs
+  | _ -> Error (what ^ ": expected object")
+
+let get_ints what v =
+  let* a = need what (Jsonl.member what v) in
+  match a with
+  | Jsonl.List l ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | Jsonl.Int i :: tl -> go (i :: acc) tl
+        | _ -> Error (what ^ ": expected int array")
+      in
+      go [] l
+  | _ -> Error (what ^ ": expected array")
+
+let rec span_of_json v =
+  let* name = get_str "name" v in
+  let* start_ns = get_int "start_ns" v in
+  let* dur_ns = get_int "dur_ns" v in
+  let* attrs = get_attrs "attrs" v in
+  let* kids = need "children" (Jsonl.member "children" v) in
+  match kids with
+  | Jsonl.List l ->
+      let rec go acc = function
+        | [] ->
+            Ok
+              {
+                Span.name;
+                start_ns;
+                dur_ns;
+                attrs;
+                children = List.rev acc;
+              }
+        | k :: tl ->
+            let* c = span_of_json k in
+            go (c :: acc) tl
+      in
+      go [] l
+  | _ -> Error "children: expected array"
+
+let sample_of_json v =
+  let* name = get_str "name" v in
+  let* ty = get_str "type" v in
+  match ty with
+  | "counter" ->
+      let* x = get_int "value" v in
+      Ok (name, Metrics.Counter x)
+  | "gauge" ->
+      let* x = get_int "value" v in
+      Ok (name, Metrics.Gauge x)
+  | "histogram" ->
+      let* bounds = get_ints "bounds" v in
+      let* counts = get_ints "counts" v in
+      let* sum = get_int "sum" v in
+      let* count = get_int "count" v in
+      Ok (name, Metrics.Hist { bounds; counts; sum; count })
+  | other -> Error ("unknown sample type " ^ other)
+
+let of_json v =
+  let* kind = get_str "kind" v in
+  match kind with
+  | "meta" ->
+      let* ver = get_int "version" v in
+      if ver > version then
+        Error (Printf.sprintf "trace version %d newer than supported %d" ver version)
+      else
+        let* producer = get_str "producer" v in
+        let* attrs = get_attrs "attrs" v in
+        Ok (Meta { producer; attrs })
+  | "event" ->
+      let* seq = get_int "seq" v in
+      let* name = get_str "name" v in
+      let* attrs = get_attrs "attrs" v in
+      Ok (Event { seq; name; attrs })
+  | "span" ->
+      let* sv = need "span" (Jsonl.member "span" v) in
+      let* s = span_of_json sv in
+      Ok (Span_tree s)
+  | "metrics" ->
+      let* samples = need "samples" (Jsonl.member "samples" v) in
+      (match samples with
+      | Jsonl.List l ->
+          let rec go acc = function
+            | [] -> Ok (Metric_snapshot (List.rev acc))
+            | s :: tl ->
+                let* kv = sample_of_json s in
+                go (kv :: acc) tl
+          in
+          go [] l
+      | _ -> Error "samples: expected array")
+  | other -> Error ("unknown line kind " ^ other)
+
+(* ---------- I/O ---------- *)
+
+let write oc l =
+  output_string oc (Jsonl.to_string (to_json l));
+  output_char oc '\n'
+
+let of_line s =
+  let* v = Jsonl.of_string s in
+  of_json v
+
+let read_channel ic =
+  let rec go acc lineno =
+    match In_channel.input_line ic with
+    | None -> Ok (List.rev acc)
+    | Some s when String.trim s = "" -> go acc (lineno + 1)
+    | Some s -> (
+        match of_line s with
+        | Ok l -> go (l :: acc) (lineno + 1)
+        | Error e -> Error (Printf.sprintf "line %d: %s" lineno e))
+  in
+  go [] 1
+
+let read_file path =
+  In_channel.with_open_text path read_channel

@@ -1,0 +1,51 @@
+(** The versioned JSONL trace format.
+
+    A trace file is a sequence of JSON objects, one per line, each
+    carrying a ["kind"] discriminator:
+
+    - [meta] — stream header: schema name/version plus free-form
+      attributes (protocol, strategy, instance, seed...). Emitted once
+      per recorded run; a file may hold several runs.
+    - [event] — one execution event: a sequence number, an event name
+      (["woke"], ["moved"], ["posted"], ["erased"], ["halted"]...) and
+      named attributes.
+    - [span] — a completed span tree (see {!Span}).
+    - [metrics] — a {!Metrics.snapshot}. In a stream this is cumulative
+      for its sink registry; diff consecutive snapshots for intervals.
+
+    Unknown kinds are a decode error (bump {!version} when adding any).
+    Producers must write lines in this order per run: meta, events,
+    span, metrics — readers may rely on the meta line coming first. *)
+
+val schema : string
+(** ["qelect-trace"]. *)
+
+val version : int
+(** 1. Decoders reject newer versions. *)
+
+type event = {
+  seq : int;
+  name : string;
+  attrs : (string * Jsonl.value) list;
+}
+
+type line =
+  | Meta of { producer : string; attrs : (string * Jsonl.value) list }
+  | Event of event
+  | Span_tree of Span.closed
+  | Metric_snapshot of Metrics.snapshot
+
+val to_json : line -> Jsonl.value
+val of_json : Jsonl.value -> (line, string) result
+(** Exact inverses: [of_json (to_json l) = Ok l]. *)
+
+val write : out_channel -> line -> unit
+(** One line, newline-terminated. *)
+
+val of_line : string -> (line, string) result
+
+val read_channel : in_channel -> (line list, string) result
+(** All lines until EOF; blank lines are skipped; the first error aborts
+    with its line number. *)
+
+val read_file : string -> (line list, string) result

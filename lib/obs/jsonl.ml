@@ -1,0 +1,247 @@
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+(* ---------- printer ---------- *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let rec add_value buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f ->
+      if not (Float.is_finite f) then
+        invalid_arg "Jsonl.to_string: non-finite float";
+      (* %.17g round-trips any finite double exactly; force a '.' or
+         exponent so integral floats decode back as Float, not Int *)
+      let s = Printf.sprintf "%.17g" f in
+      let s =
+        if String.contains s '.' || String.contains s 'e' then s
+        else s ^ ".0"
+      in
+      Buffer.add_string buf s
+  | String s -> add_escaped buf s
+  | List l ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i v ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_value buf v)
+        l;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_escaped buf k;
+          Buffer.add_char buf ':';
+          add_value buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  add_value buf v;
+  Buffer.contents buf
+
+(* ---------- parser ---------- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail ("expected " ^ word)
+  in
+  let add_utf8 buf code =
+    (* encode a code point; \u00XX from our own printer stays one byte *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char buf '"'; advance ()
+               | '\\' -> Buffer.add_char buf '\\'; advance ()
+               | '/' -> Buffer.add_char buf '/'; advance ()
+               | 'n' -> Buffer.add_char buf '\n'; advance ()
+               | 't' -> Buffer.add_char buf '\t'; advance ()
+               | 'r' -> Buffer.add_char buf '\r'; advance ()
+               | 'b' -> Buffer.add_char buf '\b'; advance ()
+               | 'f' -> Buffer.add_char buf '\012'; advance ()
+               | 'u' ->
+                   advance ();
+                   if !pos + 4 > n then fail "truncated \\u escape";
+                   let hex = String.sub s !pos 4 in
+                   let code =
+                     try int_of_string ("0x" ^ hex)
+                     with _ -> fail "bad \\u escape"
+                   in
+                   pos := !pos + 4;
+                   add_utf8 buf code
+               | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            go ()
+        | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      incr pos
+    done;
+    let tok = String.sub s start (!pos - start) in
+    let plain_int =
+      String.for_all (function '0' .. '9' | '-' -> true | _ -> false) tok
+    in
+    if plain_int then
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ tok))
+    else
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ tok)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let parse_member () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let items = ref [ parse_member () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_member () :: !items;
+            skip_ws ()
+          done;
+          expect '}';
+          Obj (List.rev !items)
+        end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %c" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) ->
+      Error (Printf.sprintf "at byte %d: %s" at msg)
+
+(* ---------- accessors ---------- *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+let to_str = function String s -> Some s | _ -> None

@@ -1,0 +1,41 @@
+(** A minimal JSON value type with a printer and a parser, sufficient for
+    the telemetry export format (one JSON object per line — JSONL).
+
+    Self-contained on purpose: the repo policy is no new opam
+    dependencies, and the subset we emit (objects, arrays, strings,
+    63-bit ints, finite floats, booleans, null) round-trips exactly
+    through {!to_string}/{!of_string}. Object member order is preserved
+    both ways, which is what makes the qcheck encode→decode equality
+    tests meaningful.
+
+    Strings are byte sequences: bytes [>= 0x20] other than the quote and
+    backslash are emitted raw, control characters are escaped ([\n], [\t], [\r],
+    [\u00XX]); the parser additionally accepts any [\uXXXX] escape
+    (decoded to UTF-8). Non-finite floats are not representable in JSON
+    and are rejected by {!to_string}. *)
+
+type value =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of value list
+  | Obj of (string * value) list
+
+val to_string : value -> string
+(** Compact rendering, no newlines — one value is one JSONL line.
+    @raise Invalid_argument on a non-finite float. *)
+
+val of_string : string -> (value, string) result
+(** Parse exactly one JSON value (surrounding whitespace allowed). The
+    error string carries a byte offset. Numbers parse as [Int] when they
+    are plain integers that fit in an OCaml [int], as [Float]
+    otherwise. *)
+
+val member : string -> value -> value option
+(** [member k (Obj _)] is the first binding of [k], if any; [None] on
+    non-objects. *)
+
+val to_int : value -> int option
+val to_str : value -> string option

@@ -1,0 +1,195 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int }
+
+type histogram = {
+  bounds : int array;  (* ascending upper bounds *)
+  buckets : int array;  (* length bounds + 1; last = overflow *)
+  mutable sum : int;
+  mutable count : int;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type registry = { tbl : (string, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let default_buckets = Array.init 10 (fun i -> 1 lsl (2 * i))
+(* 1, 4, 16, ..., 4^9 = 262144 *)
+
+let counter r name =
+  match Hashtbl.find_opt r.tbl name with
+  | Some (C c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+      let c = { c = 0 } in
+      Hashtbl.add r.tbl name (C c);
+      c
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let value c = c.c
+
+let gauge r name =
+  match Hashtbl.find_opt r.tbl name with
+  | Some (G g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+      let g = { g = 0 } in
+      Hashtbl.add r.tbl name (G g);
+      g
+
+let set g v = g.g <- v
+let record_max g v = if v > g.g then g.g <- v
+let gauge_value g = g.g
+
+let histogram ?(buckets = default_buckets) r name =
+  match Hashtbl.find_opt r.tbl name with
+  | Some (H h) ->
+      if h.bounds <> buckets && buckets != default_buckets then
+        invalid_arg ("Metrics.histogram: " ^ name ^ " re-registered with different buckets");
+      h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+      let ok = ref true in
+      Array.iteri
+        (fun i b -> if i > 0 && b <= buckets.(i - 1) then ok := false)
+        buckets;
+      if (not !ok) || Array.length buckets = 0 then
+        invalid_arg "Metrics.histogram: bounds must be strictly ascending";
+      let h =
+        {
+          bounds = Array.copy buckets;
+          buckets = Array.make (Array.length buckets + 1) 0;
+          sum = 0;
+          count = 0;
+        }
+      in
+      Hashtbl.add r.tbl name (H h);
+      h
+
+let observe h v =
+  let bounds = h.bounds in
+  let nb = Array.length bounds in
+  (* first bucket whose bound >= v, else the overflow bucket *)
+  let idx =
+    if v > bounds.(nb - 1) then nb
+    else begin
+      let lo = ref 0 and hi = ref (nb - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if bounds.(mid) < v then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    end
+  in
+  h.buckets.(idx) <- h.buckets.(idx) + 1;
+  h.sum <- h.sum + v;
+  h.count <- h.count + 1
+
+(* ---------- snapshots ---------- *)
+
+type sample =
+  | Counter of int
+  | Gauge of int
+  | Hist of { bounds : int array; counts : int array; sum : int; count : int }
+
+type snapshot = (string * sample) list
+
+let snapshot r =
+  Hashtbl.fold
+    (fun name inst acc ->
+      let s =
+        match inst with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h ->
+            Hist
+              {
+                bounds = Array.copy h.bounds;
+                counts = Array.copy h.buckets;
+                sum = h.sum;
+                count = h.count;
+              }
+      in
+      (name, s) :: acc)
+    r.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find snap name = List.assoc_opt name snap
+
+let combine ~counter ~gauge ~hist a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (counter x y)
+  | Gauge x, Gauge y -> Gauge (gauge x y)
+  | Hist hx, Hist hy ->
+      if hx.bounds <> hy.bounds then
+        invalid_arg "Metrics: histogram bounds mismatch";
+      Hist
+        {
+          bounds = hx.bounds;
+          counts = Array.init (Array.length hx.counts) (fun i ->
+              hist hx.counts.(i) hy.counts.(i));
+          sum = hist hx.sum hy.sum;
+          count = hist hx.count hy.count;
+        }
+  | _ -> invalid_arg "Metrics: sample kind mismatch"
+
+(* walk two name-sorted snapshots together *)
+let rec zip f only_a only_b a b =
+  match (a, b) with
+  | [], rest -> List.filter_map only_b rest
+  | rest, [] -> List.filter_map only_a rest
+  | (ka, va) :: ta, (kb, vb) :: tb ->
+      let c = String.compare ka kb in
+      if c = 0 then (ka, f va vb) :: zip f only_a only_b ta tb
+      else if c < 0 then
+        match only_a (ka, va) with
+        | Some kv -> kv :: zip f only_a only_b ta b
+        | None -> zip f only_a only_b ta b
+      else
+        match only_b (kb, vb) with
+        | Some kv -> kv :: zip f only_a only_b a tb
+        | None -> zip f only_a only_b a tb
+
+let diff ~after ~before =
+  zip
+    (combine ~counter:( - ) ~gauge:(fun a _ -> a) ~hist:( - ))
+    (fun kv -> Some kv) (* new since [before]: counts from 0 *)
+    (fun _ -> None) (* gone: dropped *)
+    after before
+
+let merge a b =
+  zip
+    (combine ~counter:( + ) ~gauge:max ~hist:( + ))
+    (fun kv -> Some kv)
+    (fun kv -> Some kv)
+    a b
+
+let render snap =
+  let buf = Buffer.create 512 in
+  let width =
+    List.fold_left (fun acc (name, _) -> max acc (String.length name)) 10 snap
+  in
+  List.iter
+    (fun (name, s) ->
+      let pad = String.make (width - String.length name) ' ' in
+      match s with
+      | Counter v -> Printf.bprintf buf "%s%s  %d\n" name pad v
+      | Gauge v -> Printf.bprintf buf "%s%s  %d (gauge)\n" name pad v
+      | Hist h ->
+          let mean =
+            if h.count = 0 then 0. else float_of_int h.sum /. float_of_int h.count
+          in
+          Printf.bprintf buf "%s%s  count=%d sum=%d mean=%.1f" name pad
+            h.count h.sum mean;
+          Array.iteri
+            (fun i c ->
+              if c > 0 then
+                if i < Array.length h.bounds then
+                  Printf.bprintf buf " le%d=%d" h.bounds.(i) c
+                else Printf.bprintf buf " inf=%d" c)
+            h.counts;
+          Buffer.add_char buf '\n')
+    snap;
+  Buffer.contents buf

@@ -1,0 +1,84 @@
+(** The metrics registry: named counters, gauges and fixed-bucket
+    histograms with O(1) hot-path recording.
+
+    A registry is an explicit value — create one per run, per campaign,
+    or per process as the scope demands (instrumented code reaches the
+    ambient one through {!Sink}). Instruments are looked up by name once
+    ({!counter} / {!gauge} / {!histogram}, which register on first use)
+    and then recorded into with plain mutable-field updates: {!incr},
+    {!add}, {!set}, {!record_max} and {!observe} touch no table and
+    allocate nothing.
+
+    {!snapshot} freezes the registry into a plain value; {!diff} and
+    {!merge} give interval readings and cross-instance aggregation. *)
+
+type registry
+
+val create : unit -> registry
+
+(** {1 Instruments} *)
+
+type counter
+
+val counter : registry -> string -> counter
+(** Register (or fetch) the counter named [name]. Registering the same
+    name twice returns the same instrument.
+    @raise Invalid_argument if the name is already a gauge/histogram. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+type gauge
+
+val gauge : registry -> string -> gauge
+(** A gauge holds the last {!set} value — or the running maximum under
+    {!record_max} (high-water marks). An untouched gauge reads 0. *)
+
+val set : gauge -> int -> unit
+val record_max : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+type histogram
+
+val histogram : ?buckets:int array -> registry -> string -> histogram
+(** Fixed upper-bound buckets, ascending; an implicit overflow bucket
+    catches everything above the last bound. [buckets] defaults to
+    powers of four [[|1; 4; 16; ...; 4^9|]]. The bucket layout is fixed
+    at registration; re-registering with different bounds raises. *)
+
+val observe : histogram -> int -> unit
+(** O(log #buckets): binary search for the bucket, three field
+    updates. *)
+
+(** {1 Snapshots} *)
+
+type sample =
+  | Counter of int
+  | Gauge of int
+  | Hist of { bounds : int array; counts : int array; sum : int; count : int }
+      (** [counts] has [length bounds + 1] entries; the last is the
+          overflow bucket. *)
+
+type snapshot = (string * sample) list
+(** Sorted by name. *)
+
+val snapshot : registry -> snapshot
+val find : snapshot -> string -> sample option
+
+val diff : after:snapshot -> before:snapshot -> snapshot
+(** Interval reading: counters and histogram buckets subtract (names
+    only in [after] count as coming from 0), gauges keep their [after]
+    value. Names only in [before] are dropped (instruments never
+    disappear from a live registry, so nothing is lost).
+    @raise Invalid_argument on mismatched sample kinds or histogram
+    bounds for the same name. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Aggregation across registries: counters and histograms add, gauges
+    take the max (gauges are used as high-water marks throughout).
+    @raise Invalid_argument on mismatched kinds or bounds. *)
+
+val render : snapshot -> string
+(** A two-column text table (name, value); histograms render as
+    [count/sum/mean] plus their non-empty buckets. *)

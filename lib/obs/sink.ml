@@ -1,0 +1,19 @@
+type t = {
+  metrics : Metrics.registry;
+  spans : Span.tracer;
+  on_line : (Export.line -> unit) option;
+}
+
+let create ?on_line () =
+  { metrics = Metrics.create (); spans = Span.tracer (); on_line }
+
+let emit t line = match t.on_line with None -> () | Some f -> f line
+
+let current : t option ref = ref None
+
+let ambient () = !current
+
+let with_ambient t f =
+  let saved = !current in
+  current := Some t;
+  Fun.protect ~finally:(fun () -> current := saved) f

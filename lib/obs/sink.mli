@@ -1,0 +1,35 @@
+(** The telemetry sink: where instrumented code sends its signals.
+
+    A sink bundles a {!Metrics.registry}, a {!Span.tracer} and an
+    optional raw line emitter. Instrumentation comes in two shapes:
+
+    - {e threaded}: hot code that already takes parameters accepts
+      [?obs:Sink.t] (e.g. [Engine.run ?obs]) — [None] means every probe
+      compiles down to an untaken branch;
+    - {e ambient}: deep library code with a fixed signature (the
+      symmetry kernel) reads the process-wide current sink via
+      {!ambient}. It is process-wide but {e explicitly scoped}: only
+      {!with_ambient} installs it, and only for the extent of its thunk.
+      With no ambient sink installed (the default), the probe is one
+      [ref] read returning [None]. *)
+
+type t = {
+  metrics : Metrics.registry;
+  spans : Span.tracer;
+  on_line : (Export.line -> unit) option;
+      (** raw JSONL stream consumer, e.g. a file writer; [None] disables
+          event streaming while keeping metrics and spans live *)
+}
+
+val create : ?on_line:(Export.line -> unit) -> unit -> t
+(** A sink with a fresh registry and tracer. *)
+
+val emit : t -> Export.line -> unit
+(** Forward to [on_line]; no-op when the sink has no stream. *)
+
+val ambient : unit -> t option
+(** The currently installed ambient sink, if any. *)
+
+val with_ambient : t -> (unit -> 'a) -> 'a
+(** Install [t] as the ambient sink for the extent of the thunk
+    (exception-safe, restores the previous sink — nesting works). *)

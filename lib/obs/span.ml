@@ -1,0 +1,92 @@
+type closed = {
+  name : string;
+  start_ns : int;
+  dur_ns : int;
+  attrs : (string * Jsonl.value) list;
+  children : closed list;
+}
+
+type span = {
+  sname : string;
+  start : int;
+  mutable sattrs : (string * Jsonl.value) list;  (* reversed *)
+  mutable rev_children : closed list;
+}
+
+type tracer = {
+  mutable stack : span list;  (* innermost first *)
+  mutable rev_roots : closed list;
+}
+
+let tracer () = { stack = []; rev_roots = [] }
+
+let enter ?(attrs = []) t name =
+  let s =
+    { sname = name; start = Clock.now_ns (); sattrs = List.rev attrs;
+      rev_children = [] }
+  in
+  t.stack <- s :: t.stack;
+  s
+
+let add_attr s k v = s.sattrs <- (k, v) :: s.sattrs
+
+let exit t s =
+  match t.stack with
+  | top :: rest when top == s ->
+      t.stack <- rest;
+      let c =
+        {
+          name = s.sname;
+          start_ns = s.start;
+          dur_ns = Clock.now_ns () - s.start;
+          attrs = List.rev s.sattrs;
+          children = List.rev s.rev_children;
+        }
+      in
+      (match rest with
+      | parent :: _ -> parent.rev_children <- c :: parent.rev_children
+      | [] -> t.rev_roots <- c :: t.rev_roots);
+      c
+  | _ :: _ -> invalid_arg "Span.exit: not the innermost open span"
+  | [] -> invalid_arg "Span.exit: no open span"
+
+let with_span ?attrs t name f =
+  let s = enter ?attrs t name in
+  match f () with
+  | v ->
+      ignore (exit t s);
+      v
+  | exception e ->
+      ignore (exit t s);
+      raise e
+
+let roots t = List.rev t.rev_roots
+
+let flame root =
+  let buf = Buffer.create 256 in
+  let total = max 1 root.dur_ns in
+  let rec go depth c =
+    let label = String.make (2 * depth) ' ' ^ c.name in
+    let attrs =
+      match c.attrs with
+      | [] -> ""
+      | kvs ->
+          " ["
+          ^ String.concat ", "
+              (List.map
+                 (fun (k, v) ->
+                   k ^ "="
+                   ^ (match v with
+                     | Jsonl.String s -> s
+                     | v -> Jsonl.to_string v))
+                 kvs)
+          ^ "]"
+    in
+    Printf.bprintf buf "%-32s %10s %5.1f%%%s\n" label
+      (Format.asprintf "%a" Clock.pp_ns c.dur_ns)
+      (100. *. float_of_int c.dur_ns /. float_of_int total)
+      attrs;
+    List.iter (go (depth + 1)) c.children
+  in
+  go 0 root;
+  Buffer.contents buf

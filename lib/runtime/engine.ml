@@ -10,6 +10,13 @@ type strategy =
   | Fifo_mailbox
   | Synchronous
 
+let strategy_name = function
+  | Round_robin -> "round-robin"
+  | Random_fair _ -> "random"
+  | Lifo -> "lifo"
+  | Fifo_mailbox -> "fifo-mailbox"
+  | Synchronous -> "synchronous"
+
 type agent_stats = {
   moves : int;
   posts : int;
@@ -33,6 +40,7 @@ type result = {
   total_moves : int;
   total_accesses : int;
   scheduler_turns : int;
+  wall_time_ns : int;
 }
 
 let home_tag = "home-base"
@@ -94,6 +102,7 @@ type state = {
   mutable clock : int;  (* bumps on every enablement change *)
   mutable num_runnable : int;
   mutable picks : int;  (* scheduler picks — drives Lifo fairness *)
+  mutable wakes : int;  (* sleepers woken by a visiting agent's sign *)
 }
 
 let set_runnable st a b =
@@ -144,6 +153,7 @@ let wake_sleepers_at st node =
     (fun b ->
       match b.status with
       | Asleep when b.home = node ->
+          st.wakes <- st.wakes + 1;
           st.on_event (Woke { agent = b.color });
           enable st b (Ready Start)
       | _ -> ())
@@ -336,7 +346,7 @@ let pick_agent st strategy rr_cursor rng =
           None st.agents
   end
 
-let collect_result st max_turns_hit turns =
+let collect_result st max_turns_hit turns wall_time_ns =
   let verdicts =
     Array.to_list st.agents
     |> List.map (fun a ->
@@ -401,14 +411,115 @@ let collect_result st max_turns_hit turns =
     Array.to_list st.agents |> List.map (fun a -> (a.color, a.loc))
   in
   { outcome; verdicts; per_agent; final_locations; total_moves;
-    total_accesses; scheduler_turns = turns }
+    total_accesses; scheduler_turns = turns; wall_time_ns }
+
+(* ---------- telemetry (Qe_obs) ---------- *)
+
+module Obs = struct
+  module Sink = Qe_obs.Sink
+  module Metrics = Qe_obs.Metrics
+  module Span = Qe_obs.Span
+  module Export = Qe_obs.Export
+  module J = Qe_obs.Jsonl
+
+  let export_event seq e =
+    let agent c = ("agent", J.String (Color.name c)) in
+    match e with
+    | Woke { agent = a } -> { Export.seq; name = "woke"; attrs = [ agent a ] }
+    | Moved { agent = a; from_node; to_node } ->
+        { Export.seq; name = "moved";
+          attrs = [ agent a; ("from", J.Int from_node); ("to", J.Int to_node) ] }
+    | Posted { agent = a; node; tag } ->
+        { Export.seq; name = "posted";
+          attrs = [ agent a; ("node", J.Int node); ("tag", J.String tag) ] }
+    | Erased { agent = a; node; tag; count } ->
+        { Export.seq; name = "erased";
+          attrs =
+            [ agent a; ("node", J.Int node); ("tag", J.String tag);
+              ("count", J.Int count) ] }
+    | Halted { agent = a; verdict } ->
+        { Export.seq; name = "halted";
+          attrs =
+            [ agent a; ("verdict", J.String (Protocol.verdict_to_string verdict)) ] }
+
+  (* Per-run/per-agent counters, recorded once at the end of [run] from
+     the engine's own accounting (identical totals, zero hot-path
+     cost). *)
+  let record_metrics sink st strategy turns =
+    let m = sink.Sink.metrics in
+    let c name = Metrics.counter m name in
+    let total get = Array.fold_left (fun acc a -> acc + get a) 0 st.agents in
+    Metrics.incr (c "engine.runs");
+    Metrics.add (c "engine.moves") (total (fun a -> a.moves));
+    Metrics.add (c "engine.posts") (total (fun a -> a.posts));
+    Metrics.add (c "engine.erases") (total (fun a -> a.erases));
+    Metrics.add (c "engine.reads") (total (fun a -> a.reads));
+    Metrics.add (c "engine.turns") turns;
+    Metrics.add (c "engine.wakes") st.wakes;
+    Metrics.add (c "engine.picks") st.picks;
+    Metrics.add (c ("engine.picks." ^ strategy_name strategy)) st.picks;
+    let per_agent = Metrics.histogram m "engine.agent.moves" in
+    Array.iter
+      (fun a ->
+        Metrics.observe per_agent a.moves;
+        let pfx = "engine.agent." ^ Color.name a.color in
+        Metrics.add (c (pfx ^ ".moves")) a.moves;
+        Metrics.add (c (pfx ^ ".posts")) a.posts;
+        Metrics.add (c (pfx ^ ".erases")) a.erases;
+        Metrics.add (c (pfx ^ ".reads")) a.reads;
+        Metrics.add (c (pfx ^ ".turns")) a.turns)
+      st.agents
+end
 
 let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
-    ?(on_event = fun _ -> ()) world proto =
+    ?(on_event = fun _ -> ()) ?obs world proto =
+  let t0 = Qe_obs.Clock.now_ns () in
   let strategy =
     match strategy with Some s -> s | None -> Random_fair seed
   in
   let g = World.graph world in
+  (* Telemetry. With [obs = None] (the default) every probe below is an
+     untaken [match] branch — the scheduler hot loop is untouched either
+     way, since events stream through the existing [on_event] hook and
+     counters are read off the engine's own accounting after the run. *)
+  let span name =
+    match obs with
+    | None -> None
+    | Some s -> Some (s.Obs.Sink.spans, Obs.Span.enter s.Obs.Sink.spans name)
+  in
+  let close sp =
+    match sp with
+    | None -> None
+    | Some (tr, sp) -> Some (Obs.Span.exit tr sp)
+  in
+  (match obs with
+  | None -> ()
+  | Some s ->
+      Obs.Sink.emit s
+        (Obs.Export.Meta
+           {
+             producer = "qelect.engine";
+             attrs =
+               [
+                 ("protocol", Obs.J.String proto.Protocol.name);
+                 ("strategy", Obs.J.String (strategy_name strategy));
+                 ("seed", Obs.J.Int seed);
+                 ("nodes", Obs.J.Int (Graph.n g));
+                 ("agents", Obs.J.Int (World.num_agents world));
+               ];
+           }));
+  let root = span "engine.run" in
+  let on_event =
+    match obs with
+    | Some ({ on_line = Some _; _ } as s) ->
+        let seq = ref 0 in
+        fun e ->
+          on_event e;
+          incr seq;
+          Obs.Sink.emit s (Obs.Export.Event (Obs.export_event !seq e))
+    | _ -> on_event
+  in
+  let setup_span = span "setup" in
   let boards = Array.init (Graph.n g) (fun _ -> Whiteboard.create ()) in
   let agents =
     Array.init (World.num_agents world) (fun i ->
@@ -430,7 +541,7 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
   in
   let st =
     { world; boards; agents; seed; on_event; clock = 0; num_runnable = 0;
-      picks = 0 }
+      picks = 0; wakes = 0 }
   in
   (* The environment marks every home-base with a sign of the owner's
      color before anything runs. *)
@@ -451,6 +562,8 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
         invalid_arg "Engine.run: awake index out of range";
       enable st agents.(i) (Ready Start))
     awake;
+  ignore (close setup_span);
+  let loop_span = span "schedule" in
   let rng =
     match strategy with
     | Random_fair s -> Random.State.make [| s; 0xfa12 |]
@@ -487,4 +600,23 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
             if !turns > max_turns then max_hit := true
             else take_turn st proto a
       done);
-  collect_result st !max_hit !turns
+  ignore (close loop_span);
+  let collect_span = span "collect" in
+  let result =
+    collect_result st !max_hit !turns (Qe_obs.Clock.now_ns () - t0)
+  in
+  ignore (close collect_span);
+  (match obs with
+  | None -> ()
+  | Some s ->
+      Obs.record_metrics s st strategy !turns;
+      (match root with
+      | Some (tr, sp) ->
+          Obs.Span.add_attr sp "turns" (Obs.J.Int !turns);
+          Obs.Span.add_attr sp "moves" (Obs.J.Int result.total_moves);
+          let closed = Obs.Span.exit tr sp in
+          Obs.Sink.emit s (Obs.Export.Span_tree closed)
+      | None -> ());
+      Obs.Sink.emit s
+        (Obs.Export.Metric_snapshot (Obs.Metrics.snapshot s.Obs.Sink.metrics)));
+  result

@@ -27,6 +27,11 @@ type strategy =
       (** lock-step rounds: every runnable agent takes one turn per round
           — the adversary used in the paper's impossibility arguments *)
 
+val strategy_name : strategy -> string
+(** Stable lowercase name ("round-robin", "random", "lifo",
+    "fifo-mailbox", "synchronous") — used in telemetry counter names and
+    the CLI. *)
+
 type agent_stats = {
   moves : int;
   posts : int;
@@ -53,6 +58,9 @@ type result = {
   total_moves : int;
   total_accesses : int;  (** posts + erases + board reads *)
   scheduler_turns : int;
+  wall_time_ns : int;
+      (** monotonic wall time of the whole run ({!Qe_obs.Clock}) — runs
+          are timeable without an external stopwatch *)
 }
 
 type event =
@@ -77,6 +85,7 @@ val run :
   ?max_turns:int ->
   ?awake:int list ->
   ?on_event:(event -> unit) ->
+  ?obs:Qe_obs.Sink.t ->
   World.t ->
   Protocol.t ->
   result
@@ -87,7 +96,21 @@ val run :
     Port symbols are presented to each agent in an agent-specific shuffled
     order derived from [seed], so no global symbol order leaks. For a
     quantitative protocol, [ctx.rank] is the agent index; for a
-    qualitative one it is [None]. *)
+    qualitative one it is [None].
+
+    [obs] attaches a telemetry sink (default: none, at zero hot-path
+    cost). The run then records per-run and per-agent counters into
+    [obs.metrics] ([engine.moves], [engine.posts], [engine.erases],
+    [engine.reads], [engine.turns], [engine.wakes], scheduler picks
+    total and per strategy as [engine.picks.<name>], per-agent
+    [engine.agent.<color>.*], and an [engine.agent.moves] histogram),
+    wraps the run in an ["engine.run"] span with ["setup"],
+    ["schedule"] and ["collect"] phases, and — when the sink has an
+    [on_line] stream — writes the full JSONL trace: one {e meta} header,
+    one {e event} line per engine event (sequence-numbered), the closed
+    span tree, and a final cumulative metrics snapshot
+    ({!Qe_obs.Export}). Totals in the snapshot match this [result]
+    exactly. *)
 
 val home_tag : string
 (** The tag of the setup-time home-base marks ("home-base"). *)

@@ -73,17 +73,43 @@ let timeline ?limit t =
   | _ -> ());
   Buffer.contents buf
 
+let verdict_counts t =
+  let leaders = ref 0 and defeated = ref 0 and failed = ref 0
+  and aborted = ref 0 in
+  List.iter
+    (function
+      | Engine.Halted { verdict; _ } -> (
+          match verdict with
+          | Protocol.Leader -> incr leaders
+          | Protocol.Defeated -> incr defeated
+          | Protocol.Election_failed -> incr failed
+          | Protocol.Aborted _ -> incr aborted)
+      | _ -> ())
+    t.rev_events;
+  (!leaders, !defeated, !failed, !aborted)
+
 let summary t =
   let count p = List.length (List.filter p t.rev_events) in
+  let wakes = count (function Engine.Woke _ -> true | _ -> false) in
   let moves = count (function Engine.Moved _ -> true | _ -> false) in
   let posts = count (function Engine.Posted _ -> true | _ -> false) in
   let erases = count (function Engine.Erased _ -> true | _ -> false) in
   let halts = count (function Engine.Halted _ -> true | _ -> false) in
+  let leaders, defeated, failed, aborted = verdict_counts t in
+  let verdicts =
+    [ (leaders, "leader"); (defeated, "defeated"); (failed, "failed");
+      (aborted, "aborted") ]
+    |> List.filter (fun (n, _) -> n > 0)
+    |> List.map (fun (n, what) -> Printf.sprintf "%d %s" n what)
+    |> String.concat ", "
+  in
+  let verdicts = if verdicts = "" then "none" else verdicts in
   let hist =
     tag_histogram t
     |> List.map (fun (tag, n) -> Printf.sprintf "%s=%d" tag n)
     |> String.concat ", "
   in
   Printf.sprintf
-    "%d events: %d moves, %d posts, %d erases, %d halts; posts by tag: %s"
-    t.count moves posts erases halts hist
+    "%d events: %d wakes, %d moves, %d posts, %d erases, %d halts (%s); \
+     posts by tag: %s"
+    t.count wakes moves posts erases halts verdicts hist

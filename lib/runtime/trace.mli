@@ -17,17 +17,32 @@ val length : t -> int
 val moves_of : t -> Qe_color.Color.t -> int
 val posts_of : t -> Qe_color.Color.t -> int
 
+val tag_prefix : string -> string
+(** The phase prefix of a whiteboard tag: the part up to (excluding) the
+    first [':']. A tag with no [':'] is {e its own prefix} — the whole
+    tag is returned unchanged ([tag_prefix "home-base" = "home-base"]).
+    This is deliberate: colon-free tags like ["home-base"] name a phase
+    by themselves, so they bucket under their full name rather than
+    under [""]. *)
+
 val tag_histogram : t -> (string * int) list
-(** Posted signs counted by tag {e prefix} (the part up to the first [':'])
-    — e.g. ELECT traces show "node-id", "sync", "match", "leader"...
-    Sorted by descending count. *)
+(** Posted signs counted by tag prefix ({!tag_prefix}) — e.g. ELECT
+    traces show "node-id", "sync", "match", "leader"... Sorted by
+    descending count, ties by tag. *)
+
+val verdict_counts : t -> int * int * int * int
+(** [(leaders, defeated, failed, aborted)] among the [Halted] events —
+    the verdict detail that {!summary} renders. *)
 
 val nodes_touched : t -> int list
 (** Nodes that saw at least one post, ascending. *)
 
 val timeline : ?limit:int -> t -> string
 (** Human-readable rendering, one event per line ([limit] defaults to
-    everything). *)
+    everything). [Woke] lines carry the agent, [Halted] lines the full
+    verdict (including abort messages), consistent with {!summary}'s
+    verdict breakdown. *)
 
 val summary : t -> string
-(** One paragraph: totals and the tag histogram. *)
+(** One paragraph: event totals (wakes, moves, posts, erases, halts),
+    the halts broken down by verdict, and the tag histogram. *)

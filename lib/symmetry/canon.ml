@@ -125,6 +125,10 @@ let run ?(max_leaves = 200_000) g =
   let generators = ref [] in
   let uf = Uf.create n in
   let leaves = ref 0 in
+  (* telemetry tallies — plain ints, flushed to the ambient sink on exit *)
+  let nodes = ref 0 in
+  let prune_orbit = ref 0 in
+  let prune_invariant = ref 0 in
   (* Best invariant path: the concatenated per-level invariants
      ([num cells; cell sizes...] per tree node) of the most promising
      root-to-leaf prefix found so far. A node whose level invariant is
@@ -239,9 +243,11 @@ let run ?(max_leaves = 200_000) g =
     end
   in
   let rec search p prefix off =
+    incr nodes;
     let seglen = level_invariant p in
     let off' = check_invariant off seglen in
-    if off' >= 0 then begin
+    if off' < 0 then incr prune_invariant
+    else begin
       if Refine.is_discrete p then begin
         incr leaves;
         if !leaves > max_leaves then raise Budget_exceeded;
@@ -265,7 +271,8 @@ let run ?(max_leaves = 200_000) g =
         let tried = ref [] in
         List.iter
           (fun v ->
-            if not (orbit_meets_tried prefix !tried v) then begin
+            if orbit_meets_tried prefix !tried v then incr prune_orbit
+            else begin
               tried := v :: !tried;
               let p' = Refine.fixpoint g (Refine.split p v) in
               search p' (v :: prefix) off'
@@ -274,7 +281,25 @@ let run ?(max_leaves = 200_000) g =
       end
     end
   in
-  search (Refine.equitable g) [] 0;
+  let flush_telemetry () =
+    match Qe_obs.Sink.ambient () with
+    | None -> ()
+    | Some s ->
+        let open Qe_obs.Metrics in
+        let m = s.Qe_obs.Sink.metrics in
+        incr (counter m "canon.runs");
+        add (counter m "canon.nodes") !nodes;
+        add (counter m "canon.leaves") !leaves;
+        add (counter m "canon.prune.orbit") !prune_orbit;
+        add (counter m "canon.prune.invariant") !prune_invariant;
+        add (counter m "canon.generators") (List.length !generators);
+        observe (histogram m "canon.leaves_per_run") !leaves
+  in
+  (try search (Refine.equitable g) [] 0
+   with e ->
+     flush_telemetry ();
+     raise e);
+  flush_telemetry ();
   let cert_ints =
     match !best_cert with Some c -> c | None -> assert false
   in

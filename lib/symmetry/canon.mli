@@ -33,6 +33,15 @@ type result = {
 
 val run : ?max_leaves:int -> Cdigraph.t -> result
 (** Full search. [max_leaves] defaults to 200_000.
+
+    Telemetry: when an ambient sink is installed
+    ({!Qe_obs.Sink.with_ambient}), each call records counters
+    [canon.runs], [canon.nodes] (search-tree nodes), [canon.leaves],
+    [canon.prune.orbit] and [canon.prune.invariant] (subtrees cut by
+    each pruning rule), [canon.generators], and histogram
+    [canon.leaves_per_run]. The tallies are flushed even when the
+    search dies with {!Budget_exceeded}, so aborted searches are
+    visible too.
     @raise Budget_exceeded if the tree is bigger than the budget. *)
 
 val certificate : ?max_leaves:int -> Cdigraph.t -> string

@@ -207,11 +207,16 @@ let refine_worklist csr (p0 : partition) : partition =
   and tcells = ws.tcells
   and tmark = ws.tmark in
   let sp = ref 0 in
+  (* telemetry tallies — two plain int cells, recorded into the ambient
+     sink (if any) only on exit *)
+  let splitters = ref 0 in
+  let queue_hwm = ref 0 in
   let push s =
     if not on_stack.(s) then begin
       on_stack.(s) <- true;
       stack.(!sp) <- s;
-      incr sp
+      incr sp;
+      if !sp > !queue_hwm then queue_hwm := !sp
     end
   in
   (* --- seed the ordered partition from p0 (dense ids, invariant) --- *)
@@ -334,6 +339,7 @@ let refine_worklist csr (p0 : partition) : partition =
   let arcbuf = ws.arcbuf in
   while !sp > 0 do
     decr sp;
+    incr splitters;
     let s = stack.(!sp) in
     on_stack.(s) <- false;
     let len = cell_len.(s) in
@@ -370,6 +376,20 @@ let refine_worklist csr (p0 : partition) : partition =
     done;
     i := !i + len
   done;
+  (match Qe_obs.Sink.ambient () with
+  | None -> ()
+  | Some s ->
+      let m = s.Qe_obs.Sink.metrics in
+      Qe_obs.Metrics.incr (Qe_obs.Metrics.counter m "refine.fixpoints");
+      Qe_obs.Metrics.add
+        (Qe_obs.Metrics.counter m "refine.splitters")
+        !splitters;
+      Qe_obs.Metrics.record_max
+        (Qe_obs.Metrics.gauge m "refine.queue_hwm")
+        !queue_hwm;
+      Qe_obs.Metrics.observe
+        (Qe_obs.Metrics.histogram m "refine.cells")
+        (!idx + 1));
   p
 
 (* ------------------------------------------------------------------ *)

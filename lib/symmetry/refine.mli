@@ -36,7 +36,14 @@ val step : Cdigraph.t -> partition -> partition
 val fixpoint : Cdigraph.t -> partition -> partition
 (** Refine until stable (incremental worklist refiner). The resulting
     partition has the same cells as iterating {!step} to stability; the
-    invariant cell ordering may differ. *)
+    invariant cell ordering may differ.
+
+    Telemetry: when an ambient sink is installed
+    ({!Qe_obs.Sink.with_ambient}), each call records counters
+    [refine.fixpoints] (calls) and [refine.splitters] (worklist pops),
+    gauge [refine.queue_hwm] (worklist high-water mark, max across
+    calls) and histogram [refine.cells] (final cell count). With no
+    ambient sink the only cost is two local ints. *)
 
 val equitable : Cdigraph.t -> partition
 (** [fixpoint g (initial g)]. *)

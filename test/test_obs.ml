@@ -1,0 +1,611 @@
+module Metrics = Qe_obs.Metrics
+module Jsonl = Qe_obs.Jsonl
+module Span = Qe_obs.Span
+module Export = Qe_obs.Export
+module Sink = Qe_obs.Sink
+module Clock = Qe_obs.Clock
+module Families = Qe_graph.Families
+module World = Qe_runtime.World
+module Engine = Qe_runtime.Engine
+
+(* --- clock --- *)
+
+let test_clock_monotonic () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a);
+  Alcotest.(check bool) "positive" true (a > 0)
+
+(* --- metrics --- *)
+
+let test_counter_gauge_hist () =
+  let r = Metrics.create () in
+  let c = Metrics.counter r "c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.value c);
+  Alcotest.(check int) "same instrument" 5
+    (Metrics.value (Metrics.counter r "c"));
+  let g = Metrics.gauge r "g" in
+  Metrics.set g 7;
+  Metrics.record_max g 3;
+  Alcotest.(check int) "record_max keeps max" 7 (Metrics.gauge_value g);
+  Metrics.record_max g 11;
+  Alcotest.(check int) "record_max raises" 11 (Metrics.gauge_value g);
+  let h = Metrics.histogram ~buckets:[| 1; 10; 100 |] r "h" in
+  List.iter (Metrics.observe h) [ 0; 1; 2; 10; 11; 1000 ];
+  (match Metrics.find (Metrics.snapshot r) "h" with
+  | Some (Metrics.Hist { bounds; counts; sum; count }) ->
+      Alcotest.(check (array int)) "bounds" [| 1; 10; 100 |] bounds;
+      Alcotest.(check (array int)) "counts" [| 2; 2; 1; 1 |] counts;
+      Alcotest.(check int) "sum" 1024 sum;
+      Alcotest.(check int) "count" 6 count
+  | _ -> Alcotest.fail "histogram sample missing");
+  Alcotest.check_raises "kind clash"
+    (Invalid_argument "Metrics.gauge: c is not a gauge") (fun () ->
+      ignore (Metrics.gauge r "c"))
+
+let test_snapshot_sorted_and_diff () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "z.count") 10;
+  Metrics.add (Metrics.counter r "a.count") 3;
+  Metrics.set (Metrics.gauge r "m.hwm") 5;
+  let before = Metrics.snapshot r in
+  Alcotest.(check (list string))
+    "sorted by name"
+    [ "a.count"; "m.hwm"; "z.count" ]
+    (List.map fst before);
+  Metrics.add (Metrics.counter r "z.count") 7;
+  Metrics.set (Metrics.gauge r "m.hwm") 2;
+  Metrics.incr (Metrics.counter r "fresh");
+  let after = Metrics.snapshot r in
+  let d = Metrics.diff ~after ~before in
+  Alcotest.(check bool)
+    "interval counter" true
+    (Metrics.find d "z.count" = Some (Metrics.Counter 7));
+  Alcotest.(check bool)
+    "untouched counter" true
+    (Metrics.find d "a.count" = Some (Metrics.Counter 0));
+  Alcotest.(check bool)
+    "after-only counter counts from 0" true
+    (Metrics.find d "fresh" = Some (Metrics.Counter 1));
+  Alcotest.(check bool)
+    "gauge keeps after value" true
+    (Metrics.find d "m.hwm" = Some (Metrics.Gauge 2))
+
+let test_merge () =
+  let mk c g =
+    let r = Metrics.create () in
+    Metrics.add (Metrics.counter r "n") c;
+    Metrics.record_max (Metrics.gauge r "hwm") g;
+    Metrics.observe (Metrics.histogram r "h") c;
+    Metrics.snapshot r
+  in
+  let m = Metrics.merge (mk 3 10) (mk 5 7) in
+  Alcotest.(check bool)
+    "counters add" true
+    (Metrics.find m "n" = Some (Metrics.Counter 8));
+  Alcotest.(check bool)
+    "gauges max" true
+    (Metrics.find m "hwm" = Some (Metrics.Gauge 10));
+  (match Metrics.find m "h" with
+  | Some (Metrics.Hist { sum; count; _ }) ->
+      Alcotest.(check int) "hist sums add" 8 sum;
+      Alcotest.(check int) "hist counts add" 2 count
+  | _ -> Alcotest.fail "merged histogram missing");
+  (* one-sided names survive a merge *)
+  let r = Metrics.create () in
+  Metrics.incr (Metrics.counter r "only");
+  let m = Metrics.merge (mk 1 1) (Metrics.snapshot r) in
+  Alcotest.(check bool)
+    "one-sided name kept" true
+    (Metrics.find m "only" = Some (Metrics.Counter 1))
+
+let test_diff_of_merge_roundtrip () =
+  (* diff ~after:(merge a b) ~before:a recovers b's counters *)
+  let mk c =
+    let r = Metrics.create () in
+    Metrics.add (Metrics.counter r "n") c;
+    Metrics.snapshot r
+  in
+  let a = mk 11 and b = mk 31 in
+  let d = Metrics.diff ~after:(Metrics.merge a b) ~before:a in
+  Alcotest.(check bool)
+    "counter algebra" true
+    (Metrics.find d "n" = Some (Metrics.Counter 31))
+
+(* --- jsonl --- *)
+
+let test_jsonl_parse_units () =
+  let ok s v =
+    match Jsonl.of_string s with
+    | Ok got ->
+        Alcotest.(check string) ("parse " ^ s) (Jsonl.to_string v)
+          (Jsonl.to_string got)
+    | Error e -> Alcotest.fail (s ^ ": " ^ e)
+  in
+  ok "null" Jsonl.Null;
+  ok "true" (Jsonl.Bool true);
+  ok "-42" (Jsonl.Int (-42));
+  ok "1.5" (Jsonl.Float 1.5);
+  ok "1e3" (Jsonl.Float 1000.);
+  ok {|"aA\n"|} (Jsonl.String "aA\n");
+  ok {|[1,[],{"k":null}]|}
+    (Jsonl.List [ Jsonl.Int 1; Jsonl.List []; Jsonl.Obj [ ("k", Jsonl.Null) ] ]);
+  ok {| { "a" : 1 , "b" : [ true ] } |}
+    (Jsonl.Obj [ ("a", Jsonl.Int 1); ("b", Jsonl.List [ Jsonl.Bool true ]) ]);
+  List.iter
+    (fun s ->
+      match Jsonl.of_string s with
+      | Ok _ -> Alcotest.fail ("should reject: " ^ s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+let test_jsonl_float_roundtrip () =
+  List.iter
+    (fun f ->
+      match Jsonl.of_string (Jsonl.to_string (Jsonl.Float f)) with
+      | Ok (Jsonl.Float g) ->
+          Alcotest.(check (float 0.)) (string_of_float f) f g
+      | Ok _ -> Alcotest.failf "%g did not come back as a float" f
+      | Error e -> Alcotest.fail e)
+    [ 1.0; -0.5; 3.14159; 1e100; 1e-7; 0.1; float_of_int max_int *. 4. ];
+  Alcotest.check_raises "nan rejected"
+    (Invalid_argument "Jsonl.to_string: non-finite float") (fun () ->
+      ignore (Jsonl.to_string (Jsonl.Float Float.nan)))
+
+(* qcheck generator for JSON values; strings are arbitrary bytes, floats
+   are dyadic rationals (exactly representable, so decode is exact) *)
+let gen_value =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        return Jsonl.Null;
+        map (fun b -> Jsonl.Bool b) bool;
+        map (fun i -> Jsonl.Int i) int;
+        map (fun n -> Jsonl.Float (float_of_int n /. 16.)) (int_bound 100_000);
+        map (fun s -> Jsonl.String s) (string_size (int_bound 12));
+      ]
+  in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          if n = 0 then leaf
+          else
+            frequency
+              [
+                (2, leaf);
+                ( 1,
+                  map (fun l -> Jsonl.List l)
+                    (list_size (int_bound 4) (self (n / 2))) );
+                ( 1,
+                  map
+                    (fun kvs -> Jsonl.Obj kvs)
+                    (list_size (int_bound 4)
+                       (pair (string_size (int_bound 6)) (self (n / 2)))) );
+              ])
+        (min n 6))
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~name:"jsonl to_string |> of_string = id" ~count:500
+    (QCheck.make gen_value) (fun v ->
+      match Jsonl.of_string (Jsonl.to_string v) with
+      | Ok v' -> v' = v
+      | Error e -> QCheck.Test.fail_reportf "parse error: %s" e)
+
+(* --- spans --- *)
+
+let test_span_tree () =
+  let t = Span.tracer () in
+  let root = Span.enter t "root" ~attrs:[ ("k", Jsonl.Int 1) ] in
+  let child = Span.enter t "child" in
+  Span.add_attr child "n" (Jsonl.Int 2);
+  ignore (Span.exit t child);
+  let closed = Span.exit t root in
+  Alcotest.(check string) "root name" "root" closed.Span.name;
+  Alcotest.(check int) "one child" 1 (List.length closed.Span.children);
+  let c = List.hd closed.Span.children in
+  Alcotest.(check bool) "attr attached" true
+    (List.mem_assoc "n" c.Span.attrs);
+  Alcotest.(check bool) "durations nest" true
+    (c.Span.dur_ns <= closed.Span.dur_ns);
+  Alcotest.(check int) "root completed" 1 (List.length (Span.roots t));
+  let flame = Span.flame closed in
+  let contains sub =
+    let n = String.length flame and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub flame i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "flame mentions both" true
+    (contains "root" && contains "child")
+
+let test_span_misuse_raises () =
+  let t = Span.tracer () in
+  let a = Span.enter t "a" in
+  let _b = Span.enter t "b" in
+  (try
+     ignore (Span.exit t a);
+     Alcotest.fail "out-of-order exit should raise"
+   with Invalid_argument _ -> ());
+  (* with_span is exception-safe: the span still closes *)
+  let t = Span.tracer () in
+  (try Span.with_span t "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "closed despite raise" 1 (List.length (Span.roots t))
+
+(* --- export --- *)
+
+let gen_attrs =
+  QCheck.Gen.(
+    list_size (int_bound 5)
+      (pair (string_size (int_bound 8)) (gen_value |> map Fun.id)))
+
+let gen_event =
+  QCheck.Gen.(
+    map2
+      (fun (seq, name) attrs -> { Export.seq; name; attrs })
+      (pair (int_bound 100_000) (string_size (int_bound 10)))
+      gen_attrs)
+
+let gen_span =
+  let open QCheck.Gen in
+  sized (fun n ->
+      fix
+        (fun self n ->
+          map
+            (fun (((name, start_ns), dur_ns), (attrs, children)) ->
+              { Span.name; start_ns; dur_ns; attrs; children })
+            (pair
+               (pair
+                  (pair (string_size (int_bound 8)) (int_bound 1_000_000))
+                  (int_bound 1_000_000))
+               (pair gen_attrs
+                  (if n = 0 then return []
+                   else list_size (int_bound 3) (self (n / 2))))))
+        (min n 4))
+
+let gen_snapshot =
+  let open QCheck.Gen in
+  let sample =
+    oneof
+      [
+        map (fun n -> Metrics.Counter n) (int_bound 1_000_000);
+        map (fun n -> Metrics.Gauge n) (int_bound 1_000_000);
+        map
+          (fun (counts, sum) ->
+            let k = Array.length counts - 1 in
+            let bounds = Array.init k (fun i -> 1 lsl i) in
+            let count = Array.fold_left ( + ) 0 counts in
+            Metrics.Hist { bounds; counts; sum; count })
+          (pair
+             (array_size (int_range 1 5) (int_bound 100))
+             (int_bound 10_000));
+      ]
+  in
+  (* snapshots are sorted, name-unique assoc lists *)
+  map
+    (fun kvs ->
+      List.sort_uniq (fun (a, _) (b, _) -> compare a b) kvs
+      |> List.sort (fun (a, _) (b, _) -> compare a b))
+    (list_size (int_bound 6) (pair (string_size (int_bound 8)) sample))
+
+let gen_line =
+  QCheck.Gen.(
+    oneof
+      [
+        map
+          (fun (producer, attrs) -> Export.Meta { producer; attrs })
+          (pair (string_size (int_bound 10)) gen_attrs);
+        map (fun e -> Export.Event e) gen_event;
+        map (fun s -> Export.Span_tree s) gen_span;
+        map (fun s -> Export.Metric_snapshot s) gen_snapshot;
+      ])
+
+let prop_export_roundtrip =
+  QCheck.Test.make ~name:"export to_json |> of_json = id" ~count:300
+    (QCheck.make gen_line) (fun l ->
+      match Export.of_json (Export.to_json l) with
+      | Ok l' -> l' = l
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+let prop_export_line_roundtrip =
+  QCheck.Test.make ~name:"export via printed line = id" ~count:300
+    (QCheck.make gen_line) (fun l ->
+      match Export.of_line (Jsonl.to_string (Export.to_json l)) with
+      | Ok l' -> l' = l
+      | Error e -> QCheck.Test.fail_reportf "decode error: %s" e)
+
+let test_export_rejects () =
+  let reject s =
+    match Export.of_line s with
+    | Ok _ -> Alcotest.fail ("should reject: " ^ s)
+    | Error _ -> ()
+  in
+  reject {|{"kind":"wibble"}|};
+  reject {|{"schema":"qelect-trace","version":999,"kind":"meta","producer":"x","attrs":{}}|};
+  reject {|{"kind":"event","seq":"not-an-int","name":"x","attrs":{}}|};
+  reject "[1,2,3]"
+
+let test_export_file_roundtrip () =
+  let path = Filename.temp_file "qe_obs_test" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let lines =
+        [
+          Export.Meta { producer = "test"; attrs = [ ("k", Jsonl.Int 1) ] };
+          Export.Event { seq = 1; name = "moved"; attrs = [] };
+          Export.Metric_snapshot [ ("n", Metrics.Counter 3) ];
+        ]
+      in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (Export.write oc) lines;
+          output_string oc "\n" (* blank lines are skipped *));
+      match Export.read_file path with
+      | Ok got -> Alcotest.(check bool) "all lines back" true (got = lines)
+      | Error e -> Alcotest.fail e)
+
+(* --- sink --- *)
+
+let test_ambient_scoping () =
+  Alcotest.(check bool) "no ambient by default" true (Sink.ambient () = None);
+  let outer = Sink.create () and inner = Sink.create () in
+  Sink.with_ambient outer (fun () ->
+      Alcotest.(check bool) "outer installed" true
+        (Sink.ambient () == Some outer |> fun _ ->
+         match Sink.ambient () with Some s -> s == outer | None -> false);
+      Sink.with_ambient inner (fun () ->
+          Alcotest.(check bool) "nested shadows" true
+            (match Sink.ambient () with Some s -> s == inner | None -> false));
+      Alcotest.(check bool) "restored after nest" true
+        (match Sink.ambient () with Some s -> s == outer | None -> false));
+  Alcotest.(check bool) "restored at exit" true (Sink.ambient () = None);
+  (try Sink.with_ambient outer (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check bool) "restored on raise" true (Sink.ambient () = None)
+
+(* --- engine integration --- *)
+
+let run_traced () =
+  let buf = Buffer.create 4096 in
+  let sink =
+    Sink.create
+      ~on_line:(fun l ->
+        Buffer.add_string buf (Jsonl.to_string (Export.to_json l));
+        Buffer.add_char buf '\n')
+      ()
+  in
+  let w = World.make (Families.cycle 8) ~black:[ 0; 4 ] in
+  let r =
+    Sink.with_ambient sink (fun () ->
+        Engine.run ~strategy:(Engine.Random_fair 0) ~seed:0 ~obs:sink w
+          Qe_elect.Elect.protocol)
+  in
+  let lines =
+    String.split_on_char '\n' (Buffer.contents buf)
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun s ->
+           match Export.of_line s with
+           | Ok l -> l
+           | Error e -> Alcotest.fail (e ^ ": " ^ s))
+  in
+  (r, lines, sink)
+
+let counter_of snap name =
+  match Metrics.find snap name with
+  | Some (Metrics.Counter n) -> n
+  | _ -> Alcotest.fail ("missing counter " ^ name)
+
+let test_engine_trace_totals () =
+  let r, lines, _ = run_traced () in
+  (match lines with
+  | Export.Meta { producer; _ } :: _ ->
+      Alcotest.(check string) "meta first" "qelect.engine" producer
+  | _ -> Alcotest.fail "first line is not meta");
+  let snap =
+    match
+      List.filter_map
+        (function Export.Metric_snapshot s -> Some s | _ -> None)
+        lines
+    with
+    | [ s ] -> s
+    | l -> Alcotest.failf "expected 1 metrics line, got %d" (List.length l)
+  in
+  (* the acceptance bar: trace totals match the engine result exactly *)
+  Alcotest.(check int) "moves" r.Engine.total_moves
+    (counter_of snap "engine.moves");
+  Alcotest.(check int) "accesses" r.Engine.total_accesses
+    (counter_of snap "engine.posts"
+    + counter_of snap "engine.erases"
+    + counter_of snap "engine.reads");
+  Alcotest.(check int) "turns" r.Engine.scheduler_turns
+    (counter_of snap "engine.turns");
+  let moved_events =
+    List.length
+      (List.filter
+         (function
+           | Export.Event { name = "moved"; _ } -> true | _ -> false)
+         lines)
+  in
+  Alcotest.(check int) "one moved event per move" r.Engine.total_moves
+    moved_events;
+  (* kernel counters flowed through the ambient sink *)
+  Alcotest.(check bool) "canon work captured" true
+    (counter_of snap "canon.runs" > 0);
+  Alcotest.(check bool) "refine work captured" true
+    (counter_of snap "refine.fixpoints" > 0)
+
+let test_engine_span_tree () =
+  let _, lines, _ = run_traced () in
+  match
+    List.filter_map
+      (function Export.Span_tree s -> Some s | _ -> None)
+      lines
+  with
+  | [ root ] ->
+      Alcotest.(check string) "root span" "engine.run" root.Span.name;
+      Alcotest.(check (list string))
+        "phases"
+        [ "setup"; "schedule"; "collect" ]
+        (List.map (fun c -> c.Span.name) root.Span.children);
+      Alcotest.(check bool) "turns attr closed onto root" true
+        (List.mem_assoc "turns" root.Span.attrs)
+  | l -> Alcotest.failf "expected 1 span tree, got %d" (List.length l)
+
+let test_event_seq_numbering () =
+  let _, lines, _ = run_traced () in
+  let seqs =
+    List.filter_map
+      (function Export.Event e -> Some e.Export.seq | _ -> None)
+      lines
+  in
+  Alcotest.(check (list int)) "1..n with no gaps"
+    (List.init (List.length seqs) (fun i -> i + 1))
+    seqs
+
+let test_wall_time () =
+  let w = World.make (Families.cycle 6) ~black:[ 0; 3 ] in
+  let r = Engine.run ~seed:0 w Qe_elect.Elect.protocol in
+  Alcotest.(check bool) "wall_time_ns positive" true (r.Engine.wall_time_ns > 0)
+
+let test_disabled_probe_is_silent () =
+  (* no sink anywhere: nothing observable, and canon still works *)
+  let g =
+    Qe_symmetry.Cdigraph.of_graph (Qe_graph.Families.petersen ())
+  in
+  let r = Qe_symmetry.Canon.run g in
+  Alcotest.(check bool) "leaves counted" true
+    (r.Qe_symmetry.Canon.leaves_visited > 0)
+
+let test_canon_telemetry_matches_result () =
+  let sink = Sink.create () in
+  let g = Qe_symmetry.Cdigraph.of_graph (Qe_graph.Families.hypercube 3) in
+  let r = Sink.with_ambient sink (fun () -> Qe_symmetry.Canon.run g) in
+  let snap = Metrics.snapshot sink.Sink.metrics in
+  Alcotest.(check int) "canon.leaves = leaves_visited"
+    r.Qe_symmetry.Canon.leaves_visited
+    (counter_of snap "canon.leaves");
+  Alcotest.(check int) "generators counted"
+    (List.length r.Qe_symmetry.Canon.generators)
+    (counter_of snap "canon.generators");
+  Alcotest.(check bool) "nodes >= leaves" true
+    (counter_of snap "canon.nodes" >= counter_of snap "canon.leaves")
+
+let test_campaign_observed_sweep () =
+  let module Campaign = Qe_elect.Campaign in
+  let instances =
+    List.filter
+      (fun i -> i.Campaign.name = "C5/adjacent" || i.Campaign.name = "C6/antipodal")
+      (Campaign.zoo ())
+  in
+  let records, report =
+    Campaign.observed_sweep ~seeds:[ 0 ]
+      ~strategies:[ ("round-robin", Engine.Round_robin) ]
+      ~expected:Campaign.elect_expected Qe_elect.Elect.protocol instances
+  in
+  Alcotest.(check int) "2 records" 2 (List.length records);
+  Alcotest.(check int) "2 per-instance snapshots" 2
+    (List.length report.Campaign.per_instance);
+  let total_moves = counter_of report.Campaign.total "engine.moves" in
+  let sum_records =
+    List.fold_left (fun acc r -> acc + r.Campaign.moves) 0 records
+  in
+  Alcotest.(check int) "total merges instance counters" sum_records
+    total_moves;
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) "wall_ns threaded" true (r.Campaign.wall_ns > 0))
+    records
+
+(* --- trace satellite --- *)
+
+let test_tag_prefix () =
+  Alcotest.(check string) "colon tag" "sync"
+    (Qe_runtime.Trace.tag_prefix "sync:3:abc");
+  Alcotest.(check string) "colon-free tag is its own prefix" "home-base"
+    (Qe_runtime.Trace.tag_prefix "home-base");
+  Alcotest.(check string) "empty" "" (Qe_runtime.Trace.tag_prefix "")
+
+let test_summary_verdicts () =
+  let w = World.make (Families.cycle 6) ~black:[ 0; 2 ] in
+  let trace, cb = Qe_runtime.Trace.recorder () in
+  ignore (Engine.run ~seed:0 ~on_event:cb w Qe_elect.Elect.protocol);
+  let leaders, defeated, failed, aborted =
+    Qe_runtime.Trace.verdict_counts trace
+  in
+  Alcotest.(check int) "one leader" 1 leaders;
+  Alcotest.(check int) "one defeated" 1 defeated;
+  Alcotest.(check int) "none failed" 0 failed;
+  Alcotest.(check int) "none aborted" 0 aborted;
+  let s = Qe_runtime.Trace.summary trace in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "summary names the verdicts" true
+    (contains "1 leader, 1 defeated");
+  Alcotest.(check bool) "summary has tag histogram" true
+    (contains "posts by tag:")
+
+let () =
+  Alcotest.run "obs"
+    [
+      ("clock", [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ]);
+      ( "metrics",
+        [
+          Alcotest.test_case "instruments" `Quick test_counter_gauge_hist;
+          Alcotest.test_case "snapshot+diff" `Quick
+            test_snapshot_sorted_and_diff;
+          Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "diff of merge" `Quick
+            test_diff_of_merge_roundtrip;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "parser units" `Quick test_jsonl_parse_units;
+          Alcotest.test_case "float roundtrip" `Quick
+            test_jsonl_float_roundtrip;
+          QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "tree building" `Quick test_span_tree;
+          Alcotest.test_case "misuse raises" `Quick test_span_misuse_raises;
+        ] );
+      ( "export",
+        [
+          QCheck_alcotest.to_alcotest prop_export_roundtrip;
+          QCheck_alcotest.to_alcotest prop_export_line_roundtrip;
+          Alcotest.test_case "rejects bad input" `Quick test_export_rejects;
+          Alcotest.test_case "file roundtrip" `Quick
+            test_export_file_roundtrip;
+        ] );
+      ( "sink",
+        [ Alcotest.test_case "ambient scoping" `Quick test_ambient_scoping ] );
+      ( "engine",
+        [
+          Alcotest.test_case "trace totals = result" `Quick
+            test_engine_trace_totals;
+          Alcotest.test_case "span tree shape" `Quick test_engine_span_tree;
+          Alcotest.test_case "event seq numbering" `Quick
+            test_event_seq_numbering;
+          Alcotest.test_case "wall time" `Quick test_wall_time;
+          Alcotest.test_case "disabled probes silent" `Quick
+            test_disabled_probe_is_silent;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "canon telemetry = result" `Quick
+            test_canon_telemetry_matches_result;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "observed sweep" `Quick
+            test_campaign_observed_sweep;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "tag_prefix" `Quick test_tag_prefix;
+          Alcotest.test_case "summary verdicts" `Quick test_summary_verdicts;
+        ] );
+    ]
