@@ -54,7 +54,8 @@ let outcome_str = function
   | Engine.Declared_unsolvable -> "reports-failure"
   | Engine.Deadlock -> "deadlock"
   | Engine.Step_limit -> "step-limit"
-  | Engine.Inconsistent m -> "no-leader(" ^ m ^ ")"
+  | Engine.Timeout r -> "timeout(" ^ Qe_fault.Watchdog.reason_name r ^ ")"
+  | Engine.Inconsistent { reason; _ } -> "no-leader(" ^ reason ^ ")"
 
 let run_simple ?(strategy = Engine.Random_fair 0) ?(seed = 0) g black proto =
   let w = World.make g ~black in
@@ -853,7 +854,7 @@ let sigma_explorer () =
 
 (* Bumped once per PR that changes the perf landscape; the emitted
    BENCH_<n>.json files at the repo root form the tracked trajectory. *)
-let bench_revision = 2
+let bench_revision = 3
 
 let write_bench_json path ~times ~leaves =
   let buf = Buffer.create 1024 in
@@ -995,7 +996,45 @@ let perf () =
     (List.map (fun (n, l) -> [ n; string_of_int l ]) leaves);
   let out = Printf.sprintf "BENCH_%d.json" bench_revision in
   write_bench_json out ~times ~leaves;
-  Printf.printf "\nwrote %s\n" out
+  Printf.printf "\nwrote %s\n" out;
+  (* trajectory check: compare against the previous tracked revision
+     (crude line scrape — the file is ours and regular). Micro-bench
+     noise across machines is real, so this prints deltas and only
+     flags gross regressions; it never fails the run. *)
+  let prev = Printf.sprintf "BENCH_%d.json" (bench_revision - 1) in
+  if Sys.file_exists prev then begin
+    let prev_times = ref [] in
+    In_channel.with_open_text prev (fun ic ->
+        try
+          while true do
+            let line = String.trim (input_line ic) in
+            match String.index_opt line ':' with
+            | Some i when String.length line > 2 && line.[0] = '"' ->
+                let name = String.sub line 1 (i - 2) in
+                let v = String.sub line (i + 1) (String.length line - i - 1) in
+                let v =
+                  String.trim
+                    (if String.length v > 0 && v.[String.length v - 1] = ','
+                     then String.sub v 0 (String.length v - 1)
+                     else v)
+                in
+                (match float_of_string_opt v with
+                | Some f -> prev_times := (name, f) :: !prev_times
+                | None -> ())
+            | _ -> ()
+          done
+        with End_of_file -> ());
+    Printf.printf "\nvs %s:\n" prev;
+    List.iter
+      (fun (name, t) ->
+        match List.assoc_opt name !prev_times with
+        | Some p when p > 0. ->
+            let delta = 100. *. ((t /. p) -. 1.) in
+            Printf.printf "  %-28s %+6.1f%%%s\n" name delta
+              (if delta > 50. then "  <-- check" else "")
+        | _ -> ())
+      times
+  end
 
 (* ---------- obs overhead: the disabled sink must be free ---------- *)
 
@@ -1066,6 +1105,85 @@ let obs_overhead () =
          | _ -> [ name; "?"; "?" ])
        cases)
 
+(* ---------- fault overhead: the disabled injector must be free ---------- *)
+
+let fault_overhead () =
+  section "Fault overhead: no plan vs zero-rate plan vs chaos plan";
+  print_endline
+    "the same ELECT run under fault configurations. 'off' is the default\n\
+     (no ?faults): every injection point is an untaken match branch, so\n\
+     it must sit within noise of the pre-fault baseline. 'zero-rate'\n\
+     arms a plan whose rates are all zero (the injector is consulted\n\
+     never draws); 'chaos' actually perturbs the run.\n";
+  let open Bechamel in
+  let g = Families.cycle 8 and black = [ 0; 3 ] in
+  let run_with faults () =
+    let w = World.make g ~black in
+    ignore
+      (Engine.run ~strategy:(Engine.Random_fair 0) ~seed:0 ?faults w
+         Elect.protocol)
+  in
+  let cases =
+    [
+      ("off", run_with None);
+      ("zero-rate", run_with (Some (Qe_fault.Plan.make ~seed:0 ())));
+      ("chaos", run_with (Some (Qe_fault.Plan.chaos ~seed:0)));
+      ( "watchdog",
+        fun () ->
+          let w = World.make g ~black in
+          ignore
+            (Engine.run ~strategy:(Engine.Random_fair 0) ~seed:0
+               ~watchdog:(Qe_fault.Watchdog.make ~turn_budget:500_000 ())
+               w Elect.protocol) );
+    ]
+  in
+  let tests =
+    Test.make_grouped ~name:"fault"
+      (List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) cases)
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg Toolkit.Instance.[ monotonic_clock ] tests in
+  let results =
+    Analyze.all
+      (Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |])
+      Toolkit.Instance.monotonic_clock raw
+  in
+  let time_of want =
+    Hashtbl.fold
+      (fun name ols acc ->
+        if name = "fault/" ^ want then
+          match Analyze.OLS.estimates ols with
+          | Some [ t ] -> Some t
+          | _ -> acc
+        else acc)
+      results None
+  in
+  let base = time_of "off" in
+  print_table
+    [ "configuration"; "time/run"; "vs off" ]
+    (List.map
+       (fun (name, _) ->
+         match (time_of name, base) with
+         | Some t, Some b ->
+             [
+               name;
+               Printf.sprintf "%11.0f ns" t;
+               Printf.sprintf "%+.1f%%" (100. *. ((t /. b) -. 1.));
+             ]
+         | _ -> [ name; "?"; "?" ])
+       cases);
+  (* assertion: an armed-but-silent plan may not tax the engine. The
+     threshold is generous (micro-bench noise easily reaches tens of
+     percent on loaded CI machines); a real regression from structural
+     overhead would blow far past it. *)
+  match (time_of "zero-rate", base) with
+  | Some t, Some b when t > b *. 1.5 ->
+      Printf.printf
+        "\nFAIL: zero-rate fault plan costs %+.1f%% vs off (limit +50%%)\n"
+        (100. *. ((t /. b) -. 1.));
+      exit 1
+  | _ -> print_endline "\nzero-rate plan within noise of off: OK"
+
 (* ---------- driver ---------- *)
 
 let sections =
@@ -1085,6 +1203,7 @@ let sections =
     ("sigma_explorer", sigma_explorer);
     ("perf", perf);
     ("obs-overhead", obs_overhead);
+    ("fault-overhead", fault_overhead);
   ]
 
 let () =

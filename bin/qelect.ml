@@ -106,17 +106,35 @@ let strategies =
     ("synchronous", fun _ -> Engine.Synchronous);
   ]
 
-let outcome_str = function
-  | Engine.Elected c -> Printf.sprintf "elected %s" (Color.name c)
-  | Engine.Declared_unsolvable -> "all agents report: unsolvable"
-  | Engine.Deadlock -> "deadlock"
-  | Engine.Step_limit -> "step limit exceeded"
-  | Engine.Inconsistent m -> "inconsistent verdicts: " ^ m
+let outcome_str = Engine.outcome_to_string
+
+(* Distinct non-zero exit codes per failure mode, so scripts can branch
+   on the outcome without parsing stdout (documented in `--help`). *)
+let exit_deadlock = 4
+let exit_stuck = 5 (* step limit or watchdog timeout *)
+let exit_inconsistent = 6
+let exit_chaos_violation = 7
+
+let outcome_exit_code = ref 0
+
+let note_outcome o =
+  outcome_exit_code :=
+    match o with
+    | Engine.Elected _ | Engine.Declared_unsolvable -> 0
+    | Engine.Deadlock -> exit_deadlock
+    | Engine.Step_limit | Engine.Timeout _ -> exit_stuck
+    | Engine.Inconsistent _ -> exit_inconsistent
+
+let fault_plans =
+  [
+    ("chaos", fun seed -> Qe_fault.Plan.chaos ~seed);
+    ("crash-only", fun seed -> Qe_fault.Plan.crash_only ~seed);
+  ]
 
 (* ---------- run ---------- *)
 
 let run_cmd file instance graph agents protocol strategy seed verbose trace
-    trace_out stats =
+    trace_out stats faults fault_seed =
   try
     let g, black, name = resolve_instance ?file ~instance ~graph ~agents () in
     let proto =
@@ -153,7 +171,18 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace
              ())
       else None
     in
-    let exec () = Engine.run ~strategy:strat ~seed ~on_event ?obs:sink world proto in
+    let plan =
+      match faults with
+      | None -> None
+      | Some name -> (
+          match List.assoc_opt name fault_plans with
+          | Some f -> Some (f fault_seed)
+          | None -> failwith (name ^ ": unknown fault plan (chaos, crash-only)"))
+    in
+    let exec () =
+      Engine.run ~strategy:strat ~seed ~on_event ?obs:sink ?faults:plan world
+        proto
+    in
     let r =
       (* ambient too, so refine/canon work triggered by the run (none for
          the stock protocols today, but extensions may) is captured *)
@@ -164,7 +193,20 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace
     Option.iter close_out oc;
     Printf.printf "%s on %s (n=%d, m=%d, r=%d, %s scheduler, seed %d)\n"
       protocol name (Graph.n g) (Graph.m g) (List.length black) strategy seed;
+    (match plan with
+    | Some p ->
+        Printf.printf "faults armed: %s\n" (Qe_fault.Plan.summary p);
+        Printf.printf "faults fired: %s\n"
+          (if r.Engine.faults_injected = [] then "none"
+           else
+             String.concat ", "
+               (List.map
+                  (fun (k, n) ->
+                    Printf.sprintf "%s x%d" (Qe_fault.Kind.name k) n)
+                  r.Engine.faults_injected))
+    | None -> ());
     Printf.printf "outcome: %s\n" (outcome_str r.Engine.outcome);
+    note_outcome r.Engine.outcome;
     Printf.printf "moves: %d, whiteboard accesses: %d, scheduler turns: %d\n"
       r.Engine.total_moves r.Engine.total_accesses r.Engine.scheduler_turns;
     if verbose then begin
@@ -202,12 +244,25 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace
 
 (* ---------- report ---------- *)
 
-let report_cmd path =
+let report_cmd path strict =
   try
     let lines =
-      match Qe_obs.Export.read_file path with
-      | Ok ls -> ls
-      | Error msg -> failwith (path ^ ": " ^ msg)
+      if strict then
+        match Qe_obs.Export.read_file path with
+        | Ok ls -> ls
+        | Error msg -> failwith (path ^ ": " ^ msg)
+      else
+        (* tolerate a truncated tail (a run killed mid-write): report
+           everything up to the cut and warn on stderr *)
+        let lines, cut = Qe_obs.Export.read_file_lenient path in
+        (match cut with
+        | Some (lineno, msg) ->
+            Printf.eprintf
+              "warning: %s: trace truncated at line %d (%s); reporting %d \
+               valid lines (use --strict to fail instead)\n"
+              path lineno msg (List.length lines)
+        | None -> ());
+        lines
     in
     if lines = [] then failwith (path ^ ": empty trace");
     let attr_str name attrs =
@@ -413,6 +468,62 @@ let sweep_cmd protocol seeds =
     `Ok ()
   with Failure msg -> `Error (false, msg)
 
+(* ---------- chaos ---------- *)
+
+let chaos_cmd protocol seeds trace_out =
+  try
+    let proto =
+      match protocol with
+      | "elect" -> Qe_elect.Elect.protocol
+      | "elect-cayley" -> Qe_elect.Elect_cayley.protocol
+      | other -> failwith (other ^ ": chaos supports elect, elect-cayley")
+    in
+    let seeds = max 1 seeds in
+    Printf.printf
+      "chaos: %d seeds x %d instances x %d strategies x 2 plans\n%!" seeds
+      (List.length (Campaign.zoo ()))
+      (List.length Campaign.strategies);
+    let oc = Option.map open_out trace_out in
+    let obs =
+      Option.map
+        (fun oc -> Qe_obs.Sink.create ~on_line:(Qe_obs.Export.write oc) ())
+        oc
+    in
+    let report =
+      Campaign.chaos_sweep ~seeds ?obs ~expected:Campaign.elect_expected proto
+        (Campaign.zoo ())
+    in
+    Option.iter close_out oc;
+    Printf.printf "runs: %d (%d with zero faults fired)\n"
+      report.Campaign.c_runs report.Campaign.c_zero_fault_runs;
+    Printf.printf "faults injected: %d\n" report.Campaign.c_faults_fired;
+    List.iter
+      (fun (k, n) ->
+        Printf.printf "  %-14s %d\n" (Qe_fault.Kind.name k) n)
+      report.Campaign.c_by_kind;
+    print_endline "outcomes:";
+    List.iter
+      (fun (label, n) -> Printf.printf "  %-20s %d\n" label n)
+      report.Campaign.c_outcomes;
+    let viol = report.Campaign.c_violating in
+    Printf.printf "safety violations: %d\n" (List.length viol);
+    List.iter
+      (fun (r : Campaign.chaos_record) ->
+        List.iter
+          (fun v ->
+            Printf.printf "  %s/%s/%s seed %d: %s\n"
+              r.Campaign.c_inst.Campaign.name r.Campaign.c_strategy
+              r.Campaign.c_plan_kind r.Campaign.c_plan.Qe_fault.Plan.seed
+              (Format.asprintf "%a" Campaign.pp_chaos_violation v))
+          r.Campaign.c_violations)
+      viol;
+    (match trace_out with
+    | Some path -> Printf.printf "chaos trace written to %s\n" path
+    | None -> ());
+    if viol <> [] then outcome_exit_code := exit_chaos_violation;
+    `Ok ()
+  with Failure msg -> `Error (false, msg)
+
 (* ---------- cmdliner plumbing ---------- *)
 
 let file_arg =
@@ -452,12 +563,28 @@ let stats_arg =
     value & flag
     & info [ "stats" ] ~doc:"Print the metrics table and span summary.")
 
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ]
+        ~doc:
+          "Arm a deterministic fault plan: $(b,chaos) (all fault kinds at \
+           low rates) or $(b,crash-only) (agent crash-restart only)."
+        ~docv:"PLAN")
+
+let fault_seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "fault-seed" ]
+        ~doc:"Seed of the fault plan (independent of --seed).")
+
 let run_term =
   Term.(
     ret
       (const run_cmd $ file_arg $ instance_arg $ graph_arg $ agents_arg
      $ protocol_arg $ strategy_arg $ seed_arg $ verbose_arg $ trace_arg
-     $ trace_out_arg $ stats_arg))
+     $ trace_out_arg $ stats_arg $ faults_arg $ fault_seed_arg))
 
 let report_file_arg =
   Arg.(
@@ -465,7 +592,15 @@ let report_file_arg =
     & pos 0 (some string) None
     & info [] ~doc:"Trace file (JSONL, see run --trace-out)." ~docv:"FILE")
 
-let report_term = Term.(ret (const report_cmd $ report_file_arg))
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail on a truncated or damaged trace instead of reporting the \
+           valid prefix with a warning.")
+
+let report_term = Term.(ret (const report_cmd $ report_file_arg $ strict_arg))
 
 let analyze_term =
   Term.(
@@ -490,9 +625,49 @@ let save_term =
 
 let sweep_term = Term.(ret (const sweep_cmd $ protocol_arg $ seeds_arg))
 
+let chaos_seeds_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "seeds" ] ~doc:"Number of fault-plan seeds (0..k-1).")
+
+let chaos_trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:"Write the telemetry of every chaos run as JSONL to $(docv)."
+        ~docv:"FILE")
+
+let chaos_term =
+  Term.(
+    ret (const chaos_cmd $ protocol_arg $ chaos_seeds_arg
+       $ chaos_trace_out_arg))
+
+let run_exits =
+  Cmd.Exit.info exit_deadlock ~doc:"The run ended in a deadlock."
+  :: Cmd.Exit.info exit_stuck
+       ~doc:
+         "The run hit the step limit or a watchdog timeout without \
+          completing."
+  :: Cmd.Exit.info exit_inconsistent
+       ~doc:
+         "The run produced inconsistent verdicts (a protocol bug or \
+          fault-induced divergence)."
+  :: Cmd.Exit.defaults
+
+let chaos_exits =
+  Cmd.Exit.info exit_chaos_violation
+    ~doc:"At least one chaos run violated a safety invariant."
+  :: Cmd.Exit.defaults
+
 let cmds =
   [
-    Cmd.v (Cmd.info "run" ~doc:"Run an election protocol on an instance")
+    Cmd.v
+      (Cmd.info "run" ~exits:run_exits
+         ~doc:
+           "Run an election protocol on an instance. Exits 0 when the run \
+            completes (elected or reported unsolvable), 4 on deadlock, 5 \
+            on step limit or watchdog timeout, 6 on inconsistent verdicts.")
       run_term;
     Cmd.v
       (Cmd.info "report"
@@ -511,6 +686,15 @@ let cmds =
       (Cmd.info "sweep"
          ~doc:"Run the full conformance matrix and print CSV records")
       sweep_term;
+    Cmd.v
+      (Cmd.info "chaos" ~exits:chaos_exits
+         ~doc:
+           "Run the fault-injection campaign: seeded fault plans x zoo x \
+            scheduler matrix, asserting the safety invariants (never two \
+            leaders; zero-fault runs conform to the oracle; crash-only \
+            runs on solvable Cayley instances terminate). Exits 7 on any \
+            violation.")
+      chaos_term;
   ]
 
 let () =
@@ -518,4 +702,5 @@ let () =
     Cmd.info "qelect" ~version:"1.0.0"
       ~doc:"Qualitative leader election (Barriere-Flocchini-Fraigniaud-Santoro, SPAA 2003)"
   in
-  exit (Cmd.eval (Cmd.group info cmds))
+  let rc = Cmd.eval (Cmd.group info cmds) in
+  exit (if rc = 0 then !outcome_exit_code else rc)

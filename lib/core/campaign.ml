@@ -278,3 +278,205 @@ let conformance_rate records =
   let total = List.length records in
   let ok = List.length (List.filter (fun r -> r.conforms) records) in
   (ok, total)
+
+(* ---------- chaos campaigns ---------- *)
+
+module FPlan = Qe_fault.Plan
+module FKind = Qe_fault.Kind
+module Watchdog = Qe_fault.Watchdog
+
+type chaos_violation =
+  | Two_leaders_certified of {
+      outcome : Engine.outcome;
+      verdicts : (Qe_color.Color.t * Protocol.verdict) list;
+    }
+      (** safety: the engine certified a success outcome ([Elected] /
+          [Declared_unsolvable]) that contradicts the verdict set —
+          e.g. claimed an election while two agents returned [Leader].
+          Fault-induced divergence must always surface as
+          [Inconsistent], never be silently accepted. *)
+  | Zero_fault_divergence of Engine.outcome
+      (** a run in which no fault fired must conform to the oracle *)
+  | Crash_run_stuck of Engine.outcome
+      (** a crash-only run on a solvable Cayley instance must terminate *)
+
+let pp_chaos_violation ppf = function
+  | Two_leaders_certified { outcome; verdicts } ->
+      Format.fprintf ppf "certified %a with leaders {%s}" Engine.pp_outcome
+        outcome
+        (String.concat ", "
+           (List.filter_map
+              (fun (c, v) ->
+                if v = Protocol.Leader then Some (Qe_color.Color.name c)
+                else None)
+              verdicts))
+  | Zero_fault_divergence o ->
+      Format.fprintf ppf "zero-fault run diverged from oracle: %a"
+        Engine.pp_outcome o
+  | Crash_run_stuck o ->
+      Format.fprintf ppf "crash-only run did not terminate: %a"
+        Engine.pp_outcome o
+
+type chaos_record = {
+  c_inst : instance;
+  c_strategy : string;
+  c_plan_kind : string;  (** "chaos" or "crash-only" *)
+  c_plan : FPlan.t;
+  c_outcome : Engine.outcome;
+  c_faults : (FKind.t * int) list;
+  c_leaders : int;
+  c_violations : chaos_violation list;
+  c_turns : int;
+}
+
+type chaos_report = {
+  c_records : chaos_record list;
+  c_runs : int;
+  c_faults_fired : int;
+  c_by_kind : (FKind.t * int) list;
+  c_outcomes : (string * int) list;
+      (** outcome label -> run count, most frequent first *)
+  c_zero_fault_runs : int;
+  c_violating : chaos_record list;  (** records with [c_violations <> []] *)
+}
+
+let outcome_label = function
+  | Engine.Elected _ -> "elected"
+  | Engine.Declared_unsolvable -> "unsolvable"
+  | Engine.Deadlock -> "deadlock"
+  | Engine.Step_limit -> "step-limit"
+  | Engine.Timeout r -> "timeout-" ^ Watchdog.reason_name r
+  | Engine.Inconsistent _ -> "inconsistent"
+
+let default_chaos_watchdog =
+  Watchdog.make ~turn_budget:500_000 ~livelock_window:120_000 ()
+
+let chaos_run ?obs ~strategy:(strategy_name, strategy) ~seed ~watchdog
+    ~plan_kind ~plan ~expected_elected inst proto =
+  let strategy =
+    match strategy with
+    | Engine.Random_fair _ -> Engine.Random_fair seed
+    | s -> s
+  in
+  let world = World.make inst.graph ~black:inst.black in
+  (* wake only the first agent: the rest sleep until a visitor's sign
+     wakes them (the paper's wake-up model), which is what puts the
+     delayed-wake injection point on the execution path *)
+  let result =
+    Engine.run ~strategy ~seed ?obs ~awake:[ 0 ] ~faults:plan ~watchdog
+      world proto
+  in
+  let leaders =
+    List.length
+      (List.filter (fun (_, v) -> v = Protocol.Leader) result.Engine.verdicts)
+  in
+  let fired = result.Engine.faults_injected in
+  let total_fired = List.fold_left (fun acc (_, n) -> acc + n) 0 fired in
+  let terminated =
+    match result.Engine.outcome with
+    | Engine.Step_limit | Engine.Timeout _ -> false
+    | _ -> true
+  in
+  let conforms =
+    match result.Engine.outcome with
+    | Engine.Elected _ -> expected_elected
+    | Engine.Declared_unsolvable -> not expected_elected
+    | _ -> false
+  in
+  let certified_ok =
+    (* a "success" outcome must be consistent with the verdict set *)
+    match result.Engine.outcome with
+    | Engine.Elected _ -> leaders = 1
+    | Engine.Declared_unsolvable -> leaders = 0
+    | _ -> true
+  in
+  let violations =
+    (if not certified_ok then
+       [
+         Two_leaders_certified
+           {
+             outcome = result.Engine.outcome;
+             verdicts = result.Engine.verdicts;
+           };
+       ]
+     else [])
+    @ (if total_fired = 0 && not conforms then
+         [ Zero_fault_divergence result.Engine.outcome ]
+       else [])
+    @
+    if
+      plan_kind = "crash-only" && inst.cayley && expected_elected
+      && not terminated
+    then [ Crash_run_stuck result.Engine.outcome ]
+    else []
+  in
+  {
+    c_inst = inst;
+    c_strategy = strategy_name;
+    c_plan_kind = plan_kind;
+    c_plan = plan;
+    c_outcome = result.Engine.outcome;
+    c_faults = fired;
+    c_leaders = leaders;
+    c_violations = violations;
+    c_turns = result.Engine.scheduler_turns;
+  }
+
+let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
+    ?(watchdog = default_chaos_watchdog) ?obs ~expected proto instances =
+  let records = ref [] in
+  for seed = 0 to seeds - 1 do
+    let plans =
+      [ ("chaos", FPlan.chaos ~seed); ("crash-only", FPlan.crash_only ~seed) ]
+    in
+    List.iter
+      (fun inst ->
+        let expected_elected = expected inst in
+        List.iter
+          (fun strategy ->
+            List.iter
+              (fun (plan_kind, plan) ->
+                records :=
+                  chaos_run ?obs ~strategy ~seed ~watchdog ~plan_kind ~plan
+                    ~expected_elected inst proto
+                  :: !records)
+              plans)
+          strategies)
+      instances
+  done;
+  let records = List.rev !records in
+  let by_kind =
+    List.filter_map
+      (fun k ->
+        let n =
+          List.fold_left
+            (fun acc r ->
+              acc
+              + (match List.assoc_opt k r.c_faults with
+                | Some n -> n
+                | None -> 0))
+            0 records
+        in
+        if n > 0 then Some (k, n) else None)
+      FKind.all
+  in
+  let outcomes =
+    List.fold_left
+      (fun acc r ->
+        let l = outcome_label r.c_outcome in
+        let n = match List.assoc_opt l acc with Some n -> n | None -> 0 in
+        (l, n + 1) :: List.remove_assoc l acc)
+      [] records
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  {
+    c_records = records;
+    c_runs = List.length records;
+    c_faults_fired =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 by_kind;
+    c_by_kind = by_kind;
+    c_outcomes = outcomes;
+    c_zero_fault_runs =
+      List.length (List.filter (fun r -> r.c_faults = []) records);
+    c_violating = List.filter (fun r -> r.c_violations <> []) records;
+  }

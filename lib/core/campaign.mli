@@ -95,3 +95,76 @@ val observed_sweep :
 
 val conformance_rate : record list -> int * int
 (** (conforming runs, total runs). *)
+
+(** {1 Chaos campaigns}
+
+    Fault-plan sweeps over the instance suite, asserting the safety
+    invariants that must survive the adversary:
+
+    - {b never two certified leaders} — the engine never reports
+      [Elected] unless exactly one agent returned [Leader], and never
+      [Declared_unsolvable] with any [Leader] verdict. Faults {e can}
+      drive the protocol itself into divergent verdicts (an amnesiac
+      crash-restart can mint a duplicate node identity and corrupt the
+      maps) — the engine's obligation is to surface such runs as
+      [Inconsistent], never to certify them as a success;
+    - {b zero-fault transparency} — a run in which no fault actually
+      fired must conform to the oracle exactly like a plain run;
+    - {b crash termination} — crash-only plans on solvable Cayley
+      instances must still terminate (crash-restart is amnesia, not
+      death: the fault budget guarantees a fault-free suffix). *)
+
+type chaos_violation =
+  | Two_leaders_certified of {
+      outcome : Qe_runtime.Engine.outcome;
+      verdicts : (Qe_color.Color.t * Qe_runtime.Protocol.verdict) list;
+    }
+  | Zero_fault_divergence of Qe_runtime.Engine.outcome
+  | Crash_run_stuck of Qe_runtime.Engine.outcome
+
+val pp_chaos_violation : Format.formatter -> chaos_violation -> unit
+
+type chaos_record = {
+  c_inst : instance;
+  c_strategy : string;
+  c_plan_kind : string;  (** "chaos" or "crash-only" *)
+  c_plan : Qe_fault.Plan.t;
+  c_outcome : Qe_runtime.Engine.outcome;
+  c_faults : (Qe_fault.Kind.t * int) list;
+  c_leaders : int;  (** number of [Leader] verdicts *)
+  c_violations : chaos_violation list;  (** [[]] = this run is clean *)
+  c_turns : int;
+}
+
+type chaos_report = {
+  c_records : chaos_record list;
+  c_runs : int;
+  c_faults_fired : int;
+  c_by_kind : (Qe_fault.Kind.t * int) list;
+  c_outcomes : (string * int) list;
+      (** outcome label -> run count, most frequent first *)
+  c_zero_fault_runs : int;
+  c_violating : chaos_record list;  (** records with violations *)
+}
+
+val outcome_label : Qe_runtime.Engine.outcome -> string
+(** Short stable label ("elected", "deadlock", "timeout-livelock", ...)
+    for summary tables. *)
+
+val default_chaos_watchdog : Qe_fault.Watchdog.t
+(** turn budget 500k, livelock window 120k — generous for the zoo, tight
+    enough to kill a wedged run. *)
+
+val chaos_sweep :
+  ?seeds:int ->
+  ?strategies:(string * Qe_runtime.Engine.strategy) list ->
+  ?watchdog:Qe_fault.Watchdog.t ->
+  ?obs:Qe_obs.Sink.t ->
+  expected:(instance -> bool) ->
+  Qe_runtime.Protocol.t ->
+  instance list ->
+  chaos_report
+(** The chaos matrix: for each seed in [0..seeds-1] (default 8), each
+    instance, each strategy, run both {!Qe_fault.Plan.chaos} and
+    {!Qe_fault.Plan.crash_only} with that seed under [watchdog], and
+    check every safety invariant on every run. *)

@@ -1,0 +1,48 @@
+type t = {
+  plan : Plan.t;
+  rngs : (Kind.t * Random.State.t) list;
+  counts : int array;  (* indexed by Kind.all position *)
+  mutable total : int;
+}
+
+let kind_index k =
+  let rec go i = function
+    | [] -> assert false
+    | k' :: tl -> if k = k' then i else go (i + 1) tl
+  in
+  go 0 Kind.all
+
+let create plan =
+  {
+    plan;
+    rngs =
+      List.mapi
+        (fun i k -> (k, Random.State.make [| plan.Plan.seed; 0xfa417; i |]))
+        Kind.all;
+    counts = Array.make (List.length Kind.all) 0;
+    total = 0;
+  }
+
+let plan t = t.plan
+let wake_delay t = t.plan.Plan.wake_delay
+let count t k = t.counts.(kind_index k)
+let total t = t.total
+
+let arm t k =
+  let rate = Plan.rate t.plan k in
+  if rate <= 0. || t.total >= t.plan.Plan.budget then false
+  else
+    let rng = List.assoc k t.rngs in
+    let fire = Random.State.float rng 1.0 < rate in
+    if fire then begin
+      t.counts.(kind_index k) <- t.counts.(kind_index k) + 1;
+      t.total <- t.total + 1
+    end;
+    fire
+
+let fired t =
+  List.filter_map
+    (fun k ->
+      let n = count t k in
+      if n > 0 then Some (k, n) else None)
+    Kind.all

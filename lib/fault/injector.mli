@@ -1,0 +1,32 @@
+(** The per-run mutable face of a {!Plan}: a seeded decision stream plus
+    fired-fault accounting.
+
+    The engine holds one injector per run and calls {!arm} at each
+    injection point. Decisions are drawn from a private RNG derived from
+    the plan seed (one independent stream per kind), so consulting the
+    injector never perturbs the engine's own scheduling RNG — a plan
+    whose rates are all zero is observationally invisible. *)
+
+type t
+
+val create : Plan.t -> t
+
+val plan : t -> Plan.t
+
+val arm : t -> Kind.t -> bool
+(** One decision at an injection point of this kind: [true] iff the
+    fault fires here. Fires only while the plan's budget is not
+    exhausted; a [true] consumes one unit of budget and is recorded.
+    A kind with rate 0 never fires and draws nothing. *)
+
+val wake_delay : t -> int
+(** The plan's wake suppression length, in scheduler turns. *)
+
+val fired : t -> (Kind.t * int) list
+(** How many faults of each kind fired so far; kinds with zero count are
+    omitted. Order follows {!Kind.all}. *)
+
+val count : t -> Kind.t -> int
+
+val total : t -> int
+(** Total faults fired ([<= (plan t).budget]). *)

@@ -1,0 +1,17 @@
+type t =
+  | Crash_restart
+  | Sign_loss
+  | Sign_dup
+  | Delayed_wake
+  | Turn_stutter
+
+let all = [ Crash_restart; Sign_loss; Sign_dup; Delayed_wake; Turn_stutter ]
+
+let name = function
+  | Crash_restart -> "crash-restart"
+  | Sign_loss -> "sign-loss"
+  | Sign_dup -> "sign-dup"
+  | Delayed_wake -> "delayed-wake"
+  | Turn_stutter -> "turn-stutter"
+
+let pp ppf k = Format.pp_print_string ppf (name k)

@@ -1,0 +1,39 @@
+(** The five fault kinds the engine can inject.
+
+    Each kind names one injection point inside {!Qe_runtime.Engine}:
+
+    - [Crash_restart] — fires when a runnable agent with coroutine state
+      (a pending continuation) is scheduled: the continuation is
+      discarded and the agent restarts its protocol from scratch,
+      amnesiac-style, at whatever node it currently occupies.
+    - [Sign_loss] — fires on an agent's whiteboard post: the sign is
+      silently dropped (no revision bump, no wake-ups); the agent
+      believes it posted.
+    - [Sign_dup] — fires on an agent's whiteboard post: the sign is
+      written twice.
+    - [Delayed_wake] — fires when a visiting agent's sign would wake a
+      sleeping agent: the wake notification is suppressed for a bounded
+      number of scheduler turns (never forever — the engine force-releases
+      pending wakes rather than report a spurious deadlock).
+    - [Turn_stutter] — fires when an agent is scheduled: its turn is
+      consumed without the agent running.
+
+    The environment's own setup-time home-base marks are never subject to
+    sign faults; only agent-issued posts are. *)
+
+type t =
+  | Crash_restart
+  | Sign_loss
+  | Sign_dup
+  | Delayed_wake
+  | Turn_stutter
+
+val all : t list
+(** Every kind, in declaration order. *)
+
+val name : t -> string
+(** Stable lowercase name ("crash-restart", "sign-loss", "sign-dup",
+    "delayed-wake", "turn-stutter") — used in metric names
+    ([fault.injected.<name>]), trace events and CLI tables. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,51 @@
+type t = {
+  seed : int;
+  crash_restart : float;
+  sign_loss : float;
+  sign_dup : float;
+  delayed_wake : float;
+  wake_delay : int;
+  turn_stutter : float;
+  budget : int;
+}
+
+let clamp01 x = if x < 0. then 0. else if x > 1. then 1. else x
+
+let make ?(crash_restart = 0.) ?(sign_loss = 0.) ?(sign_dup = 0.)
+    ?(delayed_wake = 0.) ?(wake_delay = 8) ?(turn_stutter = 0.)
+    ?(budget = 16) ~seed () =
+  {
+    seed;
+    crash_restart = clamp01 crash_restart;
+    sign_loss = clamp01 sign_loss;
+    sign_dup = clamp01 sign_dup;
+    delayed_wake = clamp01 delayed_wake;
+    wake_delay = max 0 wake_delay;
+    turn_stutter = clamp01 turn_stutter;
+    budget = max 0 budget;
+  }
+
+let none = make ~budget:0 ~seed:0 ()
+
+let chaos ~seed =
+  make ~crash_restart:0.002 ~sign_loss:0.005 ~sign_dup:0.005
+    ~delayed_wake:0.05 ~wake_delay:8 ~turn_stutter:0.01 ~budget:16 ~seed ()
+
+let crash_only ~seed = make ~crash_restart:0.01 ~budget:4 ~seed ()
+
+let rate t = function
+  | Kind.Crash_restart -> t.crash_restart
+  | Kind.Sign_loss -> t.sign_loss
+  | Kind.Sign_dup -> t.sign_dup
+  | Kind.Delayed_wake -> t.delayed_wake
+  | Kind.Turn_stutter -> t.turn_stutter
+
+let enabled t =
+  t.budget > 0 && List.exists (fun k -> rate t k > 0.) Kind.all
+
+let summary t =
+  Printf.sprintf
+    "seed %d: crash-restart=%g sign-loss=%g sign-dup=%g delayed-wake=%g \
+     (delay %d) turn-stutter=%g budget=%d"
+    t.seed t.crash_restart t.sign_loss t.sign_dup t.delayed_wake
+    t.wake_delay t.turn_stutter t.budget

@@ -1,5 +1,5 @@
 let schema = "qelect-trace"
-let version = 1
+let version = 2
 
 type event = {
   seq : int;
@@ -204,3 +204,18 @@ let read_channel ic =
 
 let read_file path =
   In_channel.with_open_text path read_channel
+
+let read_channel_lenient ic =
+  let rec go acc lineno =
+    match In_channel.input_line ic with
+    | None -> (List.rev acc, None)
+    | Some s when String.trim s = "" -> go acc (lineno + 1)
+    | Some s -> (
+        match of_line s with
+        | Ok l -> go (l :: acc) (lineno + 1)
+        | Error e -> (List.rev acc, Some (lineno, e)))
+  in
+  go [] 1
+
+let read_file_lenient path =
+  In_channel.with_open_text path read_channel_lenient

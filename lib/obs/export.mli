@@ -7,8 +7,10 @@
       attributes (protocol, strategy, instance, seed...). Emitted once
       per recorded run; a file may hold several runs.
     - [event] — one execution event: a sequence number, an event name
-      (["woke"], ["moved"], ["posted"], ["erased"], ["halted"]...) and
-      named attributes.
+      (["woke"], ["moved"], ["posted"], ["erased"], ["halted"]..., and
+      since version 2 the fault events ["crashed"], ["sign-lost"],
+      ["sign-dup"], ["wake-delayed"], ["stuttered"]) and named
+      attributes.
     - [span] — a completed span tree (see {!Span}).
     - [metrics] — a {!Metrics.snapshot}. In a stream this is cumulative
       for its sink registry; diff consecutive snapshots for intervals.
@@ -21,7 +23,9 @@ val schema : string
 (** ["qelect-trace"]. *)
 
 val version : int
-(** 1. Decoders reject newer versions. *)
+(** 2. Decoders reject newer versions. Version 2 added the engine fault
+    events and the [fault_seed]/[fault_plan] meta attributes; version-1
+    traces still decode (the version check is an upper bound). *)
 
 type event = {
   seq : int;
@@ -49,3 +53,12 @@ val read_channel : in_channel -> (line list, string) result
     with its line number. *)
 
 val read_file : string -> (line list, string) result
+
+val read_channel_lenient : in_channel -> line list * (int * string) option
+(** Like {!read_channel}, but tolerant of truncated or damaged tails: a
+    run killed mid-write (crash, [SIGKILL], full disk) leaves a valid
+    prefix followed by a cut line. Returns every line that decodes up to
+    the first failure, plus [Some (lineno, error)] describing the cut
+    ([None] for a clean read). Never raises on malformed input. *)
+
+val read_file_lenient : string -> line list * (int * string) option

@@ -2,6 +2,10 @@ module Graph = Qe_graph.Graph
 module Labeling = Qe_graph.Labeling
 module Color = Qe_color.Color
 module Symbol = Qe_color.Symbol
+module FKind = Qe_fault.Kind
+module FPlan = Qe_fault.Plan
+module FInj = Qe_fault.Injector
+module Watchdog = Qe_fault.Watchdog
 
 type strategy =
   | Round_robin
@@ -25,12 +29,18 @@ type agent_stats = {
   turns : int;
 }
 
+type inconsistency = {
+  reason : string;
+  conflicting : (Color.t * Protocol.verdict) list;
+}
+
 type outcome =
   | Elected of Color.t
   | Declared_unsolvable
   | Deadlock
   | Step_limit
-  | Inconsistent of string
+  | Timeout of Watchdog.reason
+  | Inconsistent of inconsistency
 
 type result = {
   outcome : outcome;
@@ -41,6 +51,7 @@ type result = {
   total_accesses : int;
   scheduler_turns : int;
   wall_time_ns : int;
+  faults_injected : (FKind.t * int) list;
 }
 
 let home_tag = "home-base"
@@ -66,6 +77,9 @@ type agent = {
       (* dirty bit kept in sync with [status] and board revisions so the
          scheduler never rescans the whiteboards *)
   mutable last_enabled : int;
+  mutable wake_due : int;
+      (* scheduler turn at which a fault-delayed wake is delivered;
+         -1 = no delayed wake pending *)
   mutable moves : int;
   mutable posts : int;
   mutable erases : int;
@@ -79,6 +93,11 @@ type event =
   | Posted of { agent : Color.t; node : int; tag : string }
   | Erased of { agent : Color.t; node : int; tag : string; count : int }
   | Halted of { agent : Color.t; verdict : Protocol.verdict }
+  | Crashed of { agent : Color.t; node : int }
+  | Sign_lost of { agent : Color.t; node : int; tag : string }
+  | Sign_duplicated of { agent : Color.t; node : int; tag : string }
+  | Wake_delayed of { agent : Color.t; until_turn : int }
+  | Stuttered of { agent : Color.t }
 
 let pp_event ppf = function
   | Woke { agent } -> Format.fprintf ppf "%a wakes" Color.pp agent
@@ -92,6 +111,19 @@ let pp_event ppf = function
   | Halted { agent; verdict } ->
       Format.fprintf ppf "%a halts: %a" Color.pp agent Protocol.pp_verdict
         verdict
+  | Crashed { agent; node } ->
+      Format.fprintf ppf "%a crash-restarts at %d" Color.pp agent node
+  | Sign_lost { agent; node; tag } ->
+      Format.fprintf ppf "FAULT: %a's post %s at %d is lost" Color.pp agent
+        tag node
+  | Sign_duplicated { agent; node; tag } ->
+      Format.fprintf ppf "FAULT: %a's post %s at %d is duplicated" Color.pp
+        agent tag node
+  | Wake_delayed { agent; until_turn } ->
+      Format.fprintf ppf "FAULT: %a's wake delayed until turn %d" Color.pp
+        agent until_turn
+  | Stuttered { agent } ->
+      Format.fprintf ppf "FAULT: %a's turn stutters" Color.pp agent
 
 type state = {
   world : World.t;
@@ -99,10 +131,16 @@ type state = {
   agents : agent array;
   seed : int;
   on_event : event -> unit;
+  faults : FInj.t option;
   mutable clock : int;  (* bumps on every enablement change *)
   mutable num_runnable : int;
   mutable picks : int;  (* scheduler picks — drives Lifo fairness *)
   mutable wakes : int;  (* sleepers woken by a visiting agent's sign *)
+  mutable turns : int;  (* scheduler turns so far *)
+  mutable delayed_pending : int;  (* agents with a fault-delayed wake *)
+  mutable progress_turn : int;
+      (* last turn with whiteboard-revision progress — the livelock
+         watchdog's reference point *)
 }
 
 let set_runnable st a b =
@@ -152,11 +190,41 @@ let wake_sleepers_at st node =
   Array.iter
     (fun b ->
       match b.status with
-      | Asleep when b.home = node ->
-          st.wakes <- st.wakes + 1;
-          st.on_event (Woke { agent = b.color });
-          enable st b (Ready Start)
+      | Asleep when b.home = node -> (
+          match st.faults with
+          | Some _ when b.wake_due >= 0 ->
+              (* a delayed wake is already pending; this wake is absorbed
+                 into it *)
+              ()
+          | Some inj when FInj.arm inj FKind.Delayed_wake ->
+              b.wake_due <- st.turns + FInj.wake_delay inj;
+              st.delayed_pending <- st.delayed_pending + 1;
+              st.on_event
+                (Wake_delayed { agent = b.color; until_turn = b.wake_due })
+          | _ ->
+              st.wakes <- st.wakes + 1;
+              st.on_event (Woke { agent = b.color });
+              enable st b (Ready Start))
       | _ -> ())
+    st.agents
+
+(* Deliver fault-delayed wakes that have come due ([force] delivers all of
+   them — the adversary may not delay a wake forever, so a scheduler with
+   nothing else to run releases the backlog instead of reporting a
+   spurious deadlock). *)
+let release_due_wakes st ~force =
+  Array.iter
+    (fun b ->
+      if b.wake_due >= 0 && (force || b.wake_due <= st.turns) then begin
+        b.wake_due <- -1;
+        st.delayed_pending <- st.delayed_pending - 1;
+        match b.status with
+        | Asleep ->
+            st.wakes <- st.wakes + 1;
+            st.on_event (Woke { agent = b.color });
+            enable st b (Ready Start)
+        | _ -> ()
+      end)
     st.agents
 
 (* A board-revision bump makes every agent waiting on that board runnable;
@@ -172,19 +240,43 @@ let wake_waiters_at st node =
       | _ -> ())
     st.agents
 
+let post_sign st a tag body =
+  Whiteboard.post st.boards.(a.loc) (Sign.make ~color:a.color ~tag ~body ());
+  st.progress_turn <- st.turns
+
 let do_post st a tag body =
   a.posts <- a.posts + 1;
-  Whiteboard.post st.boards.(a.loc)
-    (Sign.make ~color:a.color ~tag ~body ());
-  st.on_event (Posted { agent = a.color; node = a.loc; tag });
-  wake_sleepers_at st a.loc;
-  wake_waiters_at st a.loc
+  match st.faults with
+  | None ->
+      post_sign st a tag body;
+      st.on_event (Posted { agent = a.color; node = a.loc; tag });
+      wake_sleepers_at st a.loc;
+      wake_waiters_at st a.loc
+  | Some inj ->
+      if FInj.arm inj FKind.Sign_loss then
+        (* dropped on the floor: no revision bump, no wake-ups; the agent
+           believes it posted *)
+        st.on_event (Sign_lost { agent = a.color; node = a.loc; tag })
+      else begin
+        post_sign st a tag body;
+        st.on_event (Posted { agent = a.color; node = a.loc; tag });
+        if FInj.arm inj FKind.Sign_dup then begin
+          post_sign st a tag body;
+          st.on_event
+            (Sign_duplicated { agent = a.color; node = a.loc; tag })
+        end;
+        wake_sleepers_at st a.loc;
+        wake_waiters_at st a.loc
+      end
 
 let do_erase st a tag =
   a.erases <- a.erases + 1;
   let count = Whiteboard.erase st.boards.(a.loc) ~color:a.color ~tag in
   st.on_event (Erased { agent = a.color; node = a.loc; tag; count });
-  if count > 0 then wake_waiters_at st a.loc;
+  if count > 0 then begin
+    st.progress_turn <- st.turns;
+    wake_waiters_at st a.loc
+  end;
   count
 
 let do_move st a sym =
@@ -261,7 +353,7 @@ let start_agent st a (proto : Protocol.t) =
           | _ -> None);
     }
 
-let take_turn st proto a =
+let take_turn st proto (a : agent) =
   a.turns <- a.turns + 1;
   let mark_running () =
     (* placeholder replaced by the real verdict inside start_agent /
@@ -280,6 +372,19 @@ let take_turn st proto a =
       mark_running ();
       Effect.Deep.continue k (make_obs st a)
   | Asleep | Finished _ -> assert false
+
+(* The picked agent loses its coroutine state: the pending continuation is
+   dropped (its fiber is reclaimed by the GC, never resumed) and the agent
+   restarts its protocol from scratch, amnesiac, at its current node. *)
+let crash_restart st a =
+  a.entry <- None;
+  enable st a (Ready Start);
+  st.on_event (Crashed { agent = a.color; node = a.loc })
+
+(* Crash-restart only fires on agents that actually hold coroutine state;
+   "crashing" an agent that has not started yet is a no-op restart. *)
+let crashable a =
+  match a.status with Ready (Resume _) | Waiting _ -> true | _ -> false
 
 (* Allocation-free selection: the dirty bits plus [num_runnable] replace
    the per-turn candidates list; every strategy is a bounded scan of the
@@ -346,13 +451,14 @@ let pick_agent st strategy rr_cursor rng =
           None st.agents
   end
 
-let collect_result st max_turns_hit turns wall_time_ns =
+let collect_result st ~max_turns_hit ~timeout wall_time_ns =
   let verdicts =
     Array.to_list st.agents
     |> List.map (fun a ->
            ( a.color,
              match a.status with
              | Finished v -> v
+             | Asleep -> Protocol.Aborted "asleep (never woken)"
              | _ -> Protocol.Aborted "still running" ))
   in
   let all_done =
@@ -361,32 +467,43 @@ let collect_result st max_turns_hit turns wall_time_ns =
       st.agents
   in
   let outcome =
-    if max_turns_hit then Step_limit
-    else if not all_done then Deadlock
-    else
-      let leaders =
-        List.filter (fun (_, v) -> v = Protocol.Leader) verdicts
-      in
-      let failed =
-        List.filter (fun (_, v) -> v = Protocol.Election_failed) verdicts
-      in
-      let aborted =
-        List.filter
-          (fun (_, v) ->
-            match v with Protocol.Aborted _ -> true | _ -> false)
-          verdicts
-      in
-      match (leaders, failed, aborted) with
-      | _, _, _ :: _ ->
-          Inconsistent
-            (Printf.sprintf "%d agents aborted" (List.length aborted))
-      | [ (c, _) ], [], [] -> Elected c
-      | [], fs, [] when List.length fs = Array.length st.agents ->
-          Declared_unsolvable
-      | _ ->
-          Inconsistent
-            (Printf.sprintf "%d leaders, %d failed" (List.length leaders)
-               (List.length failed))
+    match timeout with
+    | Some reason -> Timeout reason
+    | None ->
+        if max_turns_hit then Step_limit
+        else if not all_done then Deadlock
+        else
+          let leaders =
+            List.filter (fun (_, v) -> v = Protocol.Leader) verdicts
+          in
+          let failed =
+            List.filter (fun (_, v) -> v = Protocol.Election_failed) verdicts
+          in
+          let aborted =
+            List.filter
+              (fun (_, v) ->
+                match v with Protocol.Aborted _ -> true | _ -> false)
+              verdicts
+          in
+          match (leaders, failed, aborted) with
+          | _, _, _ :: _ ->
+              Inconsistent
+                {
+                  reason =
+                    Printf.sprintf "%d agents aborted" (List.length aborted);
+                  conflicting = aborted;
+                }
+          | [ (c, _) ], [], [] -> Elected c
+          | [], fs, [] when List.length fs = Array.length st.agents ->
+              Declared_unsolvable
+          | _ ->
+              Inconsistent
+                {
+                  reason =
+                    Printf.sprintf "%d leaders, %d failed"
+                      (List.length leaders) (List.length failed);
+                  conflicting = leaders @ failed;
+                }
   in
   let per_agent =
     Array.to_list st.agents
@@ -410,8 +527,33 @@ let collect_result st max_turns_hit turns wall_time_ns =
   let final_locations =
     Array.to_list st.agents |> List.map (fun a -> (a.color, a.loc))
   in
+  let faults_injected =
+    match st.faults with None -> [] | Some inj -> FInj.fired inj
+  in
   { outcome; verdicts; per_agent; final_locations; total_moves;
-    total_accesses; scheduler_turns = turns; wall_time_ns }
+    total_accesses; scheduler_turns = st.turns; wall_time_ns;
+    faults_injected }
+
+let pp_outcome ppf = function
+  | Elected c -> Format.fprintf ppf "elected %s" (Color.name c)
+  | Declared_unsolvable ->
+      Format.pp_print_string ppf "all agents report: unsolvable"
+  | Deadlock -> Format.pp_print_string ppf "deadlock"
+  | Step_limit -> Format.pp_print_string ppf "step limit exceeded"
+  | Timeout r ->
+      Format.fprintf ppf "watchdog timeout (%s)" (Watchdog.reason_name r)
+  | Inconsistent { reason; conflicting } ->
+      Format.fprintf ppf "inconsistent verdicts: %s" reason;
+      if conflicting <> [] then
+        Format.fprintf ppf " [%s]"
+          (String.concat "; "
+             (List.map
+                (fun (c, v) ->
+                  Printf.sprintf "%s: %s" (Color.name c)
+                    (Protocol.verdict_to_string v))
+                conflicting))
+
+let outcome_to_string o = Format.asprintf "%a" pp_outcome o
 
 (* ---------- telemetry (Qe_obs) ---------- *)
 
@@ -441,6 +583,20 @@ module Obs = struct
         { Export.seq; name = "halted";
           attrs =
             [ agent a; ("verdict", J.String (Protocol.verdict_to_string verdict)) ] }
+    | Crashed { agent = a; node } ->
+        { Export.seq; name = "crashed";
+          attrs = [ agent a; ("node", J.Int node) ] }
+    | Sign_lost { agent = a; node; tag } ->
+        { Export.seq; name = "sign-lost";
+          attrs = [ agent a; ("node", J.Int node); ("tag", J.String tag) ] }
+    | Sign_duplicated { agent = a; node; tag } ->
+        { Export.seq; name = "sign-dup";
+          attrs = [ agent a; ("node", J.Int node); ("tag", J.String tag) ] }
+    | Wake_delayed { agent = a; until_turn } ->
+        { Export.seq; name = "wake-delayed";
+          attrs = [ agent a; ("until", J.Int until_turn) ] }
+    | Stuttered { agent = a } ->
+        { Export.seq; name = "stuttered"; attrs = [ agent a ] }
 
   (* Per-run/per-agent counters, recorded once at the end of [run] from
      the engine's own accounting (identical totals, zero hot-path
@@ -458,6 +614,14 @@ module Obs = struct
     Metrics.add (c "engine.wakes") st.wakes;
     Metrics.add (c "engine.picks") st.picks;
     Metrics.add (c ("engine.picks." ^ strategy_name strategy)) st.picks;
+    (match st.faults with
+    | None -> ()
+    | Some inj ->
+        Metrics.add (c "fault.injected") (FInj.total inj);
+        List.iter
+          (fun (k, n) ->
+            Metrics.add (c ("fault.injected." ^ FKind.name k)) n)
+          (FInj.fired inj));
     let per_agent = Metrics.histogram m "engine.agent.moves" in
     Array.iter
       (fun a ->
@@ -472,7 +636,7 @@ module Obs = struct
 end
 
 let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
-    ?(on_event = fun _ -> ()) ?obs world proto =
+    ?(on_event = fun _ -> ()) ?obs ?faults ?watchdog world proto =
   let t0 = Qe_obs.Clock.now_ns () in
   let strategy =
     match strategy with Some s -> s | None -> Random_fair seed
@@ -506,7 +670,12 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
                  ("seed", Obs.J.Int seed);
                  ("nodes", Obs.J.Int (Graph.n g));
                  ("agents", Obs.J.Int (World.num_agents world));
-               ];
+               ]
+               @ (match faults with
+                 | None -> []
+                 | Some p ->
+                     [ ("fault_seed", Obs.J.Int p.FPlan.seed);
+                       ("fault_plan", Obs.J.String (FPlan.summary p)) ]);
            }));
   let root = span "engine.run" in
   let on_event =
@@ -532,6 +701,7 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
           status = Asleep;
           runnable = false;
           last_enabled = 0;
+          wake_due = -1;
           moves = 0;
           posts = 0;
           erases = 0;
@@ -540,11 +710,14 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
         })
   in
   let st =
-    { world; boards; agents; seed; on_event; clock = 0; num_runnable = 0;
-      picks = 0; wakes = 0 }
+    { world; boards; agents; seed; on_event;
+      faults = Option.map FInj.create faults;
+      clock = 0; num_runnable = 0; picks = 0; wakes = 0; turns = 0;
+      delayed_pending = 0; progress_turn = 0 }
   in
   (* The environment marks every home-base with a sign of the owner's
-     color before anything runs. *)
+     color before anything runs. These environment marks are not agent
+     posts, so sign faults never touch them. *)
   Array.iter
     (fun a ->
       Whiteboard.post boards.(a.home)
@@ -555,7 +728,8 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
     | Some l -> l
     | None -> List.init (Array.length agents) Fun.id
   in
-  if awake = [] then invalid_arg "Engine.run: at least one agent must wake";
+  (* An empty awake set is legal: nothing can ever run, so the scheduler
+     loop exits immediately and the run reports a clean [Deadlock]. *)
   List.iter
     (fun i ->
       if i < 0 || i >= Array.length agents then
@@ -570,49 +744,91 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
     | _ -> Random.State.make [| seed |]
   in
   let rr_cursor = ref 0 in
-  let turns = ref 0 in
   let max_hit = ref false in
+  let timeout = ref None in
+  (* One watchdog probe per scheduler iteration; with [watchdog = None]
+     it is a single untaken match branch. The wall clock is only read
+     every 256 turns. *)
+  let watchdog_fired () =
+    match watchdog with
+    | None -> false
+    | Some wd ->
+        (match wd.Watchdog.turn_budget with
+        | Some b when st.turns >= b ->
+            timeout := Some Watchdog.Turn_budget
+        | _ -> ());
+        (match wd.Watchdog.livelock_window with
+        | Some w when st.turns - st.progress_turn >= w ->
+            timeout := Some Watchdog.Livelock
+        | _ -> ());
+        (match wd.Watchdog.wall_ns with
+        | Some ns
+          when st.turns land 255 = 0 && Qe_obs.Clock.now_ns () - t0 > ns ->
+            timeout := Some Watchdog.Wall_clock
+        | _ -> ());
+        !timeout <> None
+  in
+  (* One scheduler turn for [a], with fault injection when a plan is
+     armed: a stutter consumes the turn without running the agent; a
+     crash-restart discards the agent's coroutine state. *)
+  let step a =
+    st.turns <- st.turns + 1;
+    if st.turns > max_turns then max_hit := true
+    else
+      match st.faults with
+      | None -> take_turn st proto a
+      | Some inj ->
+          if FInj.arm inj FKind.Turn_stutter then
+            st.on_event (Stuttered { agent = a.color })
+          else if crashable a && FInj.arm inj FKind.Crash_restart then
+            crash_restart st a
+          else take_turn st proto a
+  in
   (match strategy with
   | Synchronous ->
       let continue_running = ref true in
-      while !continue_running && not !max_hit do
-        let round =
-          Array.to_list st.agents |> List.filter (fun a -> a.runnable)
-        in
-        if round = [] then continue_running := false
-        else
-          List.iter
-            (fun a ->
-              if a.runnable && not !max_hit then begin
-                incr turns;
-                if !turns > max_turns then max_hit := true
-                else take_turn st proto a
-              end)
-            round
+      while !continue_running && not !max_hit && !timeout = None do
+        if st.delayed_pending > 0 then release_due_wakes st ~force:false;
+        if not (watchdog_fired ()) then begin
+          let round =
+            Array.to_list st.agents |> List.filter (fun a -> a.runnable)
+          in
+          if round = [] then begin
+            if st.delayed_pending > 0 then release_due_wakes st ~force:true
+            else continue_running := false
+          end
+          else
+            List.iter
+              (fun a ->
+                if a.runnable && not !max_hit && !timeout = None then step a)
+              round
+        end
       done
   | _ ->
       let continue_running = ref true in
-      while !continue_running && not !max_hit do
-        match pick_agent st strategy rr_cursor rng with
-        | None -> continue_running := false
-        | Some a ->
-            incr turns;
-            if !turns > max_turns then max_hit := true
-            else take_turn st proto a
+      while !continue_running && not !max_hit && !timeout = None do
+        if st.delayed_pending > 0 then release_due_wakes st ~force:false;
+        if not (watchdog_fired ()) then
+          match pick_agent st strategy rr_cursor rng with
+          | None ->
+              if st.delayed_pending > 0 then release_due_wakes st ~force:true
+              else continue_running := false
+          | Some a -> step a
       done);
   ignore (close loop_span);
   let collect_span = span "collect" in
   let result =
-    collect_result st !max_hit !turns (Qe_obs.Clock.now_ns () - t0)
+    collect_result st ~max_turns_hit:!max_hit ~timeout:!timeout
+      (Qe_obs.Clock.now_ns () - t0)
   in
   ignore (close collect_span);
   (match obs with
   | None -> ()
   | Some s ->
-      Obs.record_metrics s st strategy !turns;
+      Obs.record_metrics s st strategy st.turns;
       (match root with
       | Some (tr, sp) ->
-          Obs.Span.add_attr sp "turns" (Obs.J.Int !turns);
+          Obs.Span.add_attr sp "turns" (Obs.J.Int st.turns);
           Obs.Span.add_attr sp "moves" (Obs.J.Int result.total_moves);
           let closed = Obs.Span.exit tr sp in
           Obs.Sink.emit s (Obs.Export.Span_tree closed)

@@ -40,13 +40,30 @@ type agent_stats = {
   turns : int;
 }
 
+type inconsistency = {
+  reason : string;  (** one-line diagnosis, e.g. ["2 leaders, 1 failed"] *)
+  conflicting : (Qe_color.Color.t * Protocol.verdict) list;
+      (** the verdicts that contradict each other — the aborted agents,
+          or the full leader/failed split on a multi-leader run *)
+}
+
 type outcome =
   | Elected of Qe_color.Color.t
       (** exactly one leader; everyone else defeated *)
   | Declared_unsolvable  (** all agents report the election impossible *)
   | Deadlock  (** no agent can run and some are not done *)
-  | Step_limit  (** the turn budget ran out *)
-  | Inconsistent of string  (** contradictory verdicts — a protocol bug *)
+  | Step_limit  (** the turn budget ([max_turns]) ran out *)
+  | Timeout of Qe_fault.Watchdog.reason
+      (** a {!Qe_fault.Watchdog} budget fired — distinct from
+          [Step_limit] so harnesses can tell "the experiment's step cap"
+          from "the watchdog killed a wedged run" *)
+  | Inconsistent of inconsistency
+      (** contradictory verdicts — a protocol bug, or fault-induced
+          divergence; the payload carries the conflicting verdicts *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val outcome_to_string : outcome -> string
 
 type result = {
   outcome : outcome;
@@ -61,6 +78,9 @@ type result = {
   wall_time_ns : int;
       (** monotonic wall time of the whole run ({!Qe_obs.Clock}) — runs
           are timeable without an external stopwatch *)
+  faults_injected : (Qe_fault.Kind.t * int) list;
+      (** how many faults of each kind actually fired ([[]] when no plan
+          was armed, or when one was armed but nothing fired) *)
 }
 
 type event =
@@ -74,7 +94,22 @@ type event =
       count : int;
     }
   | Halted of { agent : Qe_color.Color.t; verdict : Protocol.verdict }
-      (** Execution events, in scheduler order. Node ids are world-side
+  | Crashed of { agent : Qe_color.Color.t; node : int }
+      (** fault: amnesiac crash-restart at the agent's current node *)
+  | Sign_lost of { agent : Qe_color.Color.t; node : int; tag : string }
+      (** fault: the post was dropped — no revision bump, no wake-ups *)
+  | Sign_duplicated of {
+      agent : Qe_color.Color.t;
+      node : int;
+      tag : string;
+    }  (** fault: the post landed twice *)
+  | Wake_delayed of { agent : Qe_color.Color.t; until_turn : int }
+      (** fault: a home-base wake was suppressed until the given turn *)
+  | Stuttered of { agent : Qe_color.Color.t }
+      (** fault: the scheduler turn was consumed without running the
+          agent
+
+          Execution events, in scheduler order. Node ids are world-side
           (diagnostics only). *)
 
 val pp_event : Format.formatter -> event -> unit
@@ -86,12 +121,16 @@ val run :
   ?awake:int list ->
   ?on_event:(event -> unit) ->
   ?obs:Qe_obs.Sink.t ->
+  ?faults:Qe_fault.Plan.t ->
+  ?watchdog:Qe_fault.Watchdog.t ->
   World.t ->
   Protocol.t ->
   result
 (** [run world protocol] executes one agent per home-base.
     [strategy] defaults to [Random_fair seed]; [seed] defaults to 0;
     [max_turns] to 2_000_000; [awake] (agent indices) to all agents.
+    [awake:[]] is legal and deadlocks immediately (no agent can ever
+    run), yielding a clean [Deadlock] outcome.
 
     Port symbols are presented to each agent in an agent-specific shuffled
     order derived from [seed], so no global symbol order leaks. For a
@@ -110,7 +149,21 @@ val run :
     one {e event} line per engine event (sequence-numbered), the closed
     span tree, and a final cumulative metrics snapshot
     ({!Qe_obs.Export}). Totals in the snapshot match this [result]
-    exactly. *)
+    exactly.
+
+    [faults] arms a deterministic {!Qe_fault.Plan}: injection decisions
+    are drawn from private per-kind RNG streams seeded by the plan, so
+    the engine's own scheduling RNG is never perturbed and a plan whose
+    rates are all zero is observationally identical to no plan (same
+    outcome, same events — only the trace meta line records the plan).
+    Every fault that fires is an engine event ([Crashed], [Sign_lost],
+    [Sign_duplicated], [Wake_delayed], [Stuttered]), a
+    [fault.injected.<kind>] counter when [obs] is attached, and a row in
+    [result.faults_injected]. With [faults = None] (the default) every
+    injection point is an untaken match branch.
+
+    [watchdog] arms run budgets ({!Qe_fault.Watchdog}); when one fires
+    the run stops with [Timeout reason] instead of running on. *)
 
 val home_tag : string
 (** The tag of the setup-time home-base marks ("home-base"). *)

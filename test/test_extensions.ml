@@ -215,7 +215,8 @@ let test_mark_race_never_inconsistent () =
           in
           match r.Engine.outcome with
           | Engine.Elected _ | Engine.Declared_unsolvable -> ()
-          | Engine.Inconsistent m -> Alcotest.failf "inconsistent: %s" m
+          | Engine.Inconsistent { reason; _ } ->
+              Alcotest.failf "inconsistent: %s" reason
           | _ -> Alcotest.fail "deadlock/limit")
         [ 0; 1; 2 ])
     [

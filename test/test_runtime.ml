@@ -254,12 +254,7 @@ let test_star_race () =
       | Engine.Elected _ -> ()
       | o ->
           Alcotest.failf "%s: expected election, got %s" name
-            (match o with
-            | Engine.Deadlock -> "deadlock"
-            | Engine.Step_limit -> "step limit"
-            | Engine.Declared_unsolvable -> "unsolvable"
-            | Engine.Inconsistent m -> "inconsistent: " ^ m
-            | Engine.Elected _ -> "elected"));
+            (Engine.outcome_to_string o));
       (* exactly one leader verdict *)
       let leaders =
         List.filter (fun (_, v) -> v = Protocol.Leader) r.Engine.verdicts
@@ -312,22 +307,76 @@ let test_home_roundtrip () =
     [ Families.cycle 5; Families.petersen (); Families.complete 4 ]
 
 let test_deadlock_detected () =
-  let w = World.make (Families.cycle 4) ~black:[ 0; 2 ] in
-  let r = Engine.run w forever_waiter in
-  Alcotest.(check bool) "deadlock" true (r.Engine.outcome = Engine.Deadlock)
+  List.iter
+    (fun (name, strat) ->
+      let w = World.make (Families.cycle 4) ~black:[ 0; 2 ] in
+      let r = Engine.run ~strategy:strat w forever_waiter in
+      Alcotest.(check bool) (name ^ ": deadlock") true
+        (r.Engine.outcome = Engine.Deadlock))
+    strategies
 
 let test_step_limit () =
-  let w = World.make (Families.cycle 4) ~black:[ 0 ] in
-  let r = Engine.run ~max_turns:50 w forever_mover in
-  Alcotest.(check bool) "step limit" true
-    (r.Engine.outcome = Engine.Step_limit)
+  List.iter
+    (fun (name, strat) ->
+      let w = World.make (Families.cycle 4) ~black:[ 0 ] in
+      let r = Engine.run ~strategy:strat ~max_turns:50 w forever_mover in
+      Alcotest.(check bool) (name ^ ": step limit") true
+        (r.Engine.outcome = Engine.Step_limit))
+    strategies
+
+let test_empty_awake_deadlocks () =
+  (* nobody can ever run: a clean, immediate Deadlock — not a hang, not
+     an error *)
+  List.iter
+    (fun (name, strat) ->
+      let w = World.make (Families.cycle 4) ~black:[ 0; 2 ] in
+      let r = Engine.run ~strategy:strat ~awake:[] w solo_leader in
+      Alcotest.(check bool) (name ^ ": deadlock") true
+        (r.Engine.outcome = Engine.Deadlock);
+      Alcotest.(check int) (name ^ ": no turns") 0 r.Engine.scheduler_turns;
+      List.iter
+        (fun (_, v) ->
+          match v with
+          | Protocol.Aborted msg ->
+              Alcotest.(check string) (name ^ ": asleep verdict")
+                "asleep (never woken)" msg
+          | _ -> Alcotest.failf "%s: expected asleep verdicts" name)
+        r.Engine.verdicts)
+    strategies
+
+let test_single_agent_edge_cases () =
+  (* one agent, one node, zero edges: trivially elected *)
+  let w = World.make (Families.path 1) ~black:[ 0 ] in
+  let r = Engine.run w solo_leader in
+  Alcotest.(check bool) "1-node world elects" true
+    (match r.Engine.outcome with Engine.Elected _ -> true | _ -> false);
+  (* a single sleeping agent can never be woken (no visitor exists) *)
+  let w = World.make (Families.path 1) ~black:[ 0 ] in
+  let r = Engine.run ~awake:[] w solo_leader in
+  Alcotest.(check bool) "single sleeper deadlocks" true
+    (r.Engine.outcome = Engine.Deadlock);
+  (* a single waiting agent deadlocks rather than spinning *)
+  let w = World.make (Families.cycle 3) ~black:[ 0 ] in
+  let r = Engine.run w forever_waiter in
+  Alcotest.(check bool) "single waiter deadlocks" true
+    (r.Engine.outcome = Engine.Deadlock)
 
 let test_illegal_move_aborts () =
   let alien = Qe_color.Symbol.mint "alien" in
   let w = World.make (Families.cycle 4) ~black:[ 0 ] in
   let r = Engine.run w (illegal_mover alien) in
   match r.Engine.outcome with
-  | Engine.Inconsistent _ -> ()
+  | Engine.Inconsistent { reason; conflicting } ->
+      (* the payload carries the conflicting verdicts, not just prose *)
+      Alcotest.(check string) "reason" "1 agents aborted" reason;
+      Alcotest.(check int) "one conflicting verdict" 1
+        (List.length conflicting);
+      List.iter
+        (fun (_, v) ->
+          match v with
+          | Protocol.Aborted _ -> ()
+          | _ -> Alcotest.fail "conflicting verdict should be the abort")
+        conflicting
   | _ -> Alcotest.fail "expected abort to surface as Inconsistent"
 
 let test_determinism () =
@@ -448,8 +497,14 @@ let () =
           Alcotest.test_case "move counting" `Quick
             test_cycle_walk_counts_moves;
           Alcotest.test_case "entry roundtrip" `Quick test_home_roundtrip;
-          Alcotest.test_case "deadlock" `Quick test_deadlock_detected;
-          Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "deadlock (all strategies)" `Quick
+            test_deadlock_detected;
+          Alcotest.test_case "step limit (all strategies)" `Quick
+            test_step_limit;
+          Alcotest.test_case "empty awake set" `Quick
+            test_empty_awake_deadlocks;
+          Alcotest.test_case "single-agent edge cases" `Quick
+            test_single_agent_edge_cases;
           Alcotest.test_case "illegal move" `Quick test_illegal_move_aborts;
           Alcotest.test_case "seeded determinism" `Quick test_determinism;
           Alcotest.test_case "access accounting" `Quick test_stats_accesses;
