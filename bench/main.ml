@@ -854,9 +854,16 @@ let sigma_explorer () =
 
 (* Bumped once per PR that changes the perf landscape; the emitted
    BENCH_<n>.json files at the repo root form the tracked trajectory. *)
-let bench_revision = 3
+let bench_revision = 4
 
-let write_bench_json path ~times ~leaves =
+(* Sections deposit their numbers here and every write re-emits all of
+   them, so `bench perf par-scaling` composes one complete
+   BENCH_4.json instead of the last section clobbering the others. *)
+let recorded_times : (string * float) list ref = ref []
+let recorded_leaves : (string * int) list ref = ref []
+let recorded_scaling : (string * float) list ref = ref []
+
+let write_bench_json path =
   let buf = Buffer.create 1024 in
   let entry fmt (name, v) = Printf.bprintf buf fmt name v in
   let obj fmt kvs =
@@ -875,10 +882,13 @@ let write_bench_json path ~times ~leaves =
   Printf.bprintf buf "  \"revision\": %d,\n" bench_revision;
   Printf.bprintf buf "  \"unit\": \"ns_per_run\",\n";
   Buffer.add_string buf "  \"benchmarks\": {\n";
-  obj "%S: %.1f" times;
+  obj "%S: %.1f" !recorded_times;
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"leaves_visited\": {\n";
-  obj "%S: %d" leaves;
+  obj "%S: %d" !recorded_leaves;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"par_scaling\": {\n";
+  obj "%S: %.3f" !recorded_scaling;
   Buffer.add_string buf "  }\n}\n";
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
@@ -995,7 +1005,9 @@ let perf () =
   print_table [ "search"; "leaves visited" ]
     (List.map (fun (n, l) -> [ n; string_of_int l ]) leaves);
   let out = Printf.sprintf "BENCH_%d.json" bench_revision in
-  write_bench_json out ~times ~leaves;
+  recorded_times := times;
+  recorded_leaves := leaves;
+  write_bench_json out;
   Printf.printf "\nwrote %s\n" out;
   (* trajectory check: compare against the previous tracked revision
      (crude line scrape — the file is ours and regular). Micro-bench
@@ -1184,6 +1196,70 @@ let fault_overhead () =
       exit 1
   | _ -> print_endline "\nzero-rate plan within noise of off: OK"
 
+(* ---------- par scaling: the domain pool on the chaos sweep ---------- *)
+
+let par_scaling () =
+  section "Par scaling: chaos sweep wall-clock at -j 1, 2, 4, 8";
+  print_endline
+    "the same chaos campaign (seeded fault plans x zoo x scheduler\n\
+     matrix) on a Qe_par.Pool of j domains. The merge is deterministic,\n\
+     so every row aggregates the exact same records — only the wall\n\
+     clock may change. Aggregates are cross-checked against j=1.\n";
+  let insts = Campaign.zoo () in
+  let seeds = 2 in
+  let run jobs =
+    let t0 = Unix.gettimeofday () in
+    let r =
+      Campaign.chaos_sweep ~seeds ~jobs ~expected:Campaign.elect_expected
+        Qe_elect.Elect.protocol insts
+    in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* warm-up: fault the code and data in before anything is timed *)
+  ignore (run 2);
+  let results = List.map (fun jobs -> (jobs, run jobs)) [ 1; 2; 4; 8 ] in
+  let _, (base, t1) = List.hd results in
+  (* chaos_record embeds Color.t values whose mint ids are fresh per
+     sweep, so cross-sweep records are compared via their id-free
+     aggregates, not (=) on the record lists *)
+  let agrees (r : Campaign.chaos_report) =
+    r.Campaign.c_runs = base.Campaign.c_runs
+    && r.Campaign.c_faults_fired = base.Campaign.c_faults_fired
+    && r.Campaign.c_by_kind = base.Campaign.c_by_kind
+    && r.Campaign.c_outcomes = base.Campaign.c_outcomes
+    && r.Campaign.c_zero_fault_runs = base.Campaign.c_zero_fault_runs
+    && List.length r.Campaign.c_violating
+       = List.length base.Campaign.c_violating
+  in
+  let rows =
+    List.map
+      (fun (jobs, (r, t)) ->
+        recorded_scaling :=
+          !recorded_scaling
+          @ [ (Printf.sprintf "chaos-sweep/j%d" jobs, t *. 1e9) ];
+        if jobs > 1 then
+          recorded_scaling :=
+            !recorded_scaling
+            @ [ (Printf.sprintf "speedup/j%d" jobs, t1 /. t) ];
+        [
+          Printf.sprintf "-j %d" jobs;
+          Printf.sprintf "%8.2f s" t;
+          Printf.sprintf "%.2fx" (t1 /. t);
+          string_of_bool (agrees r);
+        ])
+      results
+  in
+  print_table [ "jobs"; "wall"; "speedup"; "same aggregates" ] rows;
+  Printf.printf "\n(%d chaos runs per row, %d fault-plan seeds)\n"
+    base.Campaign.c_runs seeds;
+  if List.exists (fun (_, (r, _)) -> not (agrees r)) results then begin
+    print_endline "FAIL: parallel chaos sweep diverged from -j 1";
+    exit 1
+  end;
+  let out = Printf.sprintf "BENCH_%d.json" bench_revision in
+  write_bench_json out;
+  Printf.printf "wrote %s\n" out
+
 (* ---------- driver ---------- *)
 
 let sections =
@@ -1204,6 +1280,7 @@ let sections =
     ("perf", perf);
     ("obs-overhead", obs_overhead);
     ("fault-overhead", fault_overhead);
+    ("par-scaling", par_scaling);
   ]
 
 let () =

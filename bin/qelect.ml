@@ -437,7 +437,11 @@ let save_cmd instance graph agents out =
 
 (* ---------- sweep (CSV) ---------- *)
 
-let sweep_cmd protocol seeds =
+(* -j 0 means "auto": size the pool for the machine *)
+let resolve_jobs jobs =
+  if jobs = 0 then Qe_par.Pool.default_jobs () else max 1 jobs
+
+let sweep_cmd protocol seeds jobs =
   try
     let proto, expected =
       match protocol with
@@ -449,20 +453,12 @@ let sweep_cmd protocol seeds =
       | other -> failwith (other ^ ": sweep supports elect, elect-cayley, quantitative")
     in
     let seeds = List.init (max 1 seeds) Fun.id in
-    let records = Campaign.sweep ~seeds ~expected proto (Campaign.zoo ()) in
-    print_endline
-      "instance,family,protocol,strategy,seed,nodes,edges,agents,gcd,\
-       expected_elected,elected,conforms,moves,accesses,turns,wall_ns";
-    List.iter
-      (fun r ->
-        Printf.printf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%b,%b,%b,%d,%d,%d,%d\n"
-          r.Campaign.inst.Campaign.name r.Campaign.inst.Campaign.family
-          r.Campaign.protocol_name r.Campaign.strategy_name r.Campaign.seed
-          r.Campaign.nodes r.Campaign.edges r.Campaign.agents r.Campaign.gcd
-          r.Campaign.expected_elected r.Campaign.elected r.Campaign.conforms
-          r.Campaign.moves r.Campaign.accesses r.Campaign.turns
-          r.Campaign.wall_ns)
-      records;
+    let records =
+      Campaign.sweep ~seeds ~jobs:(resolve_jobs jobs) ~expected proto
+        (Campaign.zoo ())
+    in
+    print_endline Campaign.csv_header;
+    List.iter (fun r -> print_endline (Campaign.csv_row r)) records;
     let ok, total = Campaign.conformance_rate records in
     Printf.eprintf "# conformance: %d/%d\n" ok total;
     `Ok ()
@@ -470,7 +466,7 @@ let sweep_cmd protocol seeds =
 
 (* ---------- chaos ---------- *)
 
-let chaos_cmd protocol seeds trace_out =
+let chaos_cmd protocol seeds trace_out jobs =
   try
     let proto =
       match protocol with
@@ -479,10 +475,13 @@ let chaos_cmd protocol seeds trace_out =
       | other -> failwith (other ^ ": chaos supports elect, elect-cayley")
     in
     let seeds = max 1 seeds in
+    let jobs = resolve_jobs jobs in
     Printf.printf
-      "chaos: %d seeds x %d instances x %d strategies x 2 plans\n%!" seeds
+      "chaos: %d seeds x %d instances x %d strategies x 2 plans (-j %d)\n%!"
+      seeds
       (List.length (Campaign.zoo ()))
-      (List.length Campaign.strategies);
+      (List.length Campaign.strategies)
+      jobs;
     let oc = Option.map open_out trace_out in
     let obs =
       Option.map
@@ -490,8 +489,8 @@ let chaos_cmd protocol seeds trace_out =
         oc
     in
     let report =
-      Campaign.chaos_sweep ~seeds ?obs ~expected:Campaign.elect_expected proto
-        (Campaign.zoo ())
+      Campaign.chaos_sweep ~seeds ?obs ~jobs ~expected:Campaign.elect_expected
+        proto (Campaign.zoo ())
     in
     Option.iter close_out oc;
     Printf.printf "runs: %d (%d with zero faults fired)\n"
@@ -623,7 +622,17 @@ let save_term =
   Term.(
     ret (const save_cmd $ instance_arg $ graph_arg $ agents_arg $ out_arg))
 
-let sweep_term = Term.(ret (const sweep_cmd $ protocol_arg $ seeds_arg))
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Run on $(docv) domains; results are bit-identical at any value. \
+           0 means auto-size for this machine."
+        ~docv:"N")
+
+let sweep_term =
+  Term.(ret (const sweep_cmd $ protocol_arg $ seeds_arg $ jobs_arg))
 
 let chaos_seeds_arg =
   Arg.(
@@ -641,7 +650,7 @@ let chaos_trace_out_arg =
 let chaos_term =
   Term.(
     ret (const chaos_cmd $ protocol_arg $ chaos_seeds_arg
-       $ chaos_trace_out_arg))
+       $ chaos_trace_out_arg $ jobs_arg))
 
 let run_exits =
   Cmd.Exit.info exit_deadlock ~doc:"The run ended in a deadlock."

@@ -20,11 +20,14 @@ end
 module Make () : S = struct
   type t = { id : int; name : string }
 
-  let counter = ref 0
+  (* Atomic: worlds are built concurrently under `Qe_par` domain pools,
+     and two domains minting at once must still get distinct ids. Ids
+     only feed equality and hashing — nothing orders by them — so the
+     allocation order being scheduling-dependent is harmless. *)
+  let counter = Atomic.make 0
 
   let mint name =
-    let id = !counter in
-    incr counter;
+    let id = Atomic.fetch_and_add counter 1 in
     { id; name }
 
   let mint_many names = Array.to_list (Array.map mint names)

@@ -220,30 +220,53 @@ let run_one ?strategy ?obs ?(seed = 0) ~expected_elected inst proto =
 
 let elect_expected inst = Oracle.gcd_classes (bicolored inst) = 1
 
-let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ~expected proto
-    instances =
-  List.concat_map
-    (fun inst ->
-      let expected_elected = expected inst in
-      List.concat_map
-        (fun strat ->
-          List.map
-            (fun seed -> run_one ~strategy:strat ~seed ~expected_elected inst proto)
-            seeds)
-        strategies)
-    instances
+(* ---------- parallel execution ----------
+
+   Every sweep below follows the same recipe: build the full task matrix
+   as an array in {e canonical order} (the nesting order of the old
+   sequential loops), farm it out with [Qe_par.Pool.run] — which writes
+   each task's result back into its input slot, whatever domain ran it —
+   and read the results off in index order. Determinism needs nothing
+   more: each task is self-contained (the engine derives its scheduling
+   [Random.State] from the task's own seed, the fault injector from the
+   plan's seed, and telemetry goes to a task- or instance-private sink),
+   so no observable value depends on which domain ran a task or when.
+   [jobs:1] (the default) runs the plain sequential loop with no pool
+   and no domains at all. *)
+
+let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
+    ~expected proto instances =
+  let tasks =
+    List.concat_map
+      (fun inst ->
+        let expected_elected = expected inst in
+        List.concat_map
+          (fun strat ->
+            List.map (fun seed -> (inst, strat, seed, expected_elected)) seeds)
+          strategies)
+      instances
+    |> Array.of_list
+  in
+  Qe_par.Pool.run ~jobs
+    ~f:(fun _ (inst, strat, seed, expected_elected) ->
+      run_one ~strategy:strat ~seed ~expected_elected inst proto)
+    tasks
+  |> Array.to_list
 
 type obs_report = {
   per_instance : (string * Qe_obs.Metrics.snapshot) list;
   total : Qe_obs.Metrics.snapshot;
 }
 
-let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ~expected
-    proto instances =
-  let per_instance = ref [] in
-  let records =
-    List.concat_map
-      (fun inst ->
+let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
+    ~expected proto instances =
+  (* parallel at instance granularity: one sink per instance is the
+     published contract of [obs_report], and an instance's runs sharing
+     their domain-local ambient sink is exactly the sequential setup,
+     so per-instance snapshots are bit-identical at any [jobs] *)
+  let per_inst =
+    Qe_par.Pool.run ~jobs
+      ~f:(fun _ inst ->
         let expected_elected = expected inst in
         (* one sink per instance: engine counters arrive via ?obs, kernel
            refine/canon counters via the ambient hook, so any symmetry
@@ -260,13 +283,12 @@ let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ~expected
                     seeds)
                 strategies)
         in
-        per_instance :=
-          (inst.name, Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics)
-          :: !per_instance;
-        rs)
-      instances
+        (rs, (inst.name, Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics)))
+      (Array.of_list instances)
+    |> Array.to_list
   in
-  let per_instance = List.rev !per_instance in
+  let records = List.concat_map fst per_inst in
+  let per_instance = List.map snd per_inst in
   let total =
     List.fold_left
       (fun acc (_, s) -> Qe_obs.Metrics.merge acc s)
@@ -278,6 +300,19 @@ let conformance_rate records =
   let total = List.length records in
   let ok = List.length (List.filter (fun r -> r.conforms) records) in
   (ok, total)
+
+(* The sweep CSV schema. Golden-tested: the column order (wall_ns last)
+   is consumed by external scripts, so changing it is a breaking change
+   and must show up in a test diff. *)
+let csv_header =
+  "instance,family,protocol,strategy,seed,nodes,edges,agents,gcd,\
+   expected_elected,elected,conforms,moves,accesses,turns,wall_ns"
+
+let csv_row r =
+  Printf.sprintf "%s,%s,%s,%s,%d,%d,%d,%d,%d,%b,%b,%b,%d,%d,%d,%d"
+    r.inst.name r.inst.family r.protocol_name r.strategy_name r.seed r.nodes
+    r.edges r.agents r.gcd r.expected_elected r.elected r.conforms r.moves
+    r.accesses r.turns r.wall_ns
 
 (* ---------- chaos campaigns ---------- *)
 
@@ -338,6 +373,8 @@ type chaos_report = {
       (** outcome label -> run count, most frequent first *)
   c_zero_fault_runs : int;
   c_violating : chaos_record list;  (** records with [c_violations <> []] *)
+  c_metrics : Qe_obs.Metrics.snapshot;
+      (** the sweep's merged engine/fault metrics ([[]] without [obs]) *)
 }
 
 let outcome_label = function
@@ -423,28 +460,118 @@ let chaos_run ?obs ~strategy:(strategy_name, strategy) ~seed ~watchdog
   }
 
 let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
-    ?(watchdog = default_chaos_watchdog) ?obs ~expected proto instances =
-  let records = ref [] in
-  for seed = 0 to seeds - 1 do
-    let plans =
-      [ ("chaos", FPlan.chaos ~seed); ("crash-only", FPlan.crash_only ~seed) ]
-    in
-    List.iter
-      (fun inst ->
-        let expected_elected = expected inst in
-        List.iter
-          (fun strategy ->
-            List.iter
-              (fun (plan_kind, plan) ->
-                records :=
-                  chaos_run ?obs ~strategy ~seed ~watchdog ~plan_kind ~plan
-                    ~expected_elected inst proto
-                  :: !records)
-              plans)
-          strategies)
-      instances
-  done;
-  let records = List.rev !records in
+    ?(watchdog = default_chaos_watchdog) ?obs ?(jobs = 1) ~expected proto
+    instances =
+  let tasks =
+    List.concat_map
+      (fun seed ->
+        let plans =
+          [
+            ("chaos", FPlan.chaos ~seed); ("crash-only", FPlan.crash_only ~seed);
+          ]
+        in
+        List.concat_map
+          (fun inst ->
+            let expected_elected = expected inst in
+            List.concat_map
+              (fun strategy ->
+                List.map
+                  (fun (plan_kind, plan) ->
+                    (seed, inst, expected_elected, strategy, plan_kind, plan))
+                  plans)
+              strategies)
+          instances)
+      (List.init seeds Fun.id)
+    |> Array.of_list
+  in
+  let records, c_metrics =
+    if jobs <= 1 then begin
+      (* the untouched sequential path: every run shares [obs] directly,
+         so traces keep their historical shape (per-run cumulative
+         snapshots); the sweep's own totals are the interval reading *)
+      let before =
+        Option.map
+          (fun s -> Qe_obs.Metrics.snapshot s.Qe_obs.Sink.metrics)
+          obs
+      in
+      let records =
+        Array.to_list tasks
+        |> List.map
+             (fun (seed, inst, expected_elected, strategy, plan_kind, plan) ->
+               chaos_run ?obs ~strategy ~seed ~watchdog ~plan_kind ~plan
+                 ~expected_elected inst proto)
+      in
+      let c_metrics =
+        match (obs, before) with
+        | Some s, Some before ->
+            Qe_obs.Metrics.diff
+              ~after:(Qe_obs.Metrics.snapshot s.Qe_obs.Sink.metrics)
+              ~before
+        | _ -> []
+      in
+      (records, c_metrics)
+    end
+    else begin
+      (* parallel: one run = one task with a private sink. Trace lines
+         are buffered per task and replayed to [obs] in canonical task
+         order afterwards — minus the per-run snapshots, which are
+         per-sink readings here; the sweep appends one merged snapshot
+         instead, so `qelect report`'s last-wins totals agree with the
+         sequential trace. Engine/fault instruments are counters and
+         histograms only, so [Metrics.merge] of the per-run snapshots
+         equals the sequential interval reading exactly. *)
+      let streaming =
+        match obs with
+        | Some { Qe_obs.Sink.on_line = Some _; _ } -> true
+        | _ -> false
+      in
+      let results =
+        Qe_par.Pool.run ~jobs
+          ~f:(fun _ (seed, inst, expected_elected, strategy, plan_kind, plan)
+             ->
+            match obs with
+            | None ->
+                ( chaos_run ~strategy ~seed ~watchdog ~plan_kind ~plan
+                    ~expected_elected inst proto,
+                  [],
+                  [] )
+            | Some _ ->
+                let lines = ref [] in
+                let on_line =
+                  if streaming then Some (fun l -> lines := l :: !lines)
+                  else None
+                in
+                let sink = Qe_obs.Sink.create ?on_line () in
+                let r =
+                  chaos_run ~obs:sink ~strategy ~seed ~watchdog ~plan_kind
+                    ~plan ~expected_elected inst proto
+                in
+                ( r,
+                  Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics,
+                  List.rev !lines ))
+          tasks
+      in
+      let c_metrics =
+        Array.fold_left
+          (fun acc (_, s, _) -> Qe_obs.Metrics.merge acc s)
+          [] results
+      in
+      (match obs with
+      | None -> ()
+      | Some parent ->
+          Array.iter
+            (fun (_, _, lines) ->
+              List.iter
+                (function
+                  | Qe_obs.Export.Metric_snapshot _ -> ()
+                  | l -> Qe_obs.Sink.emit parent l)
+                lines)
+            results;
+          if c_metrics <> [] then
+            Qe_obs.Sink.emit parent (Qe_obs.Export.Metric_snapshot c_metrics));
+      (Array.to_list results |> List.map (fun (r, _, _) -> r), c_metrics)
+    end
+  in
   let by_kind =
     List.filter_map
       (fun k ->
@@ -479,4 +606,5 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
     c_zero_fault_runs =
       List.length (List.filter (fun r -> r.c_faults = []) records);
     c_violating = List.filter (fun r -> r.c_violations <> []) records;
+    c_metrics;
   }

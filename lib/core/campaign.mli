@@ -66,11 +66,18 @@ val elect_expected : instance -> bool
 val sweep :
   ?seeds:int list ->
   ?strategies:(string * Qe_runtime.Engine.strategy) list ->
+  ?jobs:int ->
   expected:(instance -> bool) ->
   Qe_runtime.Protocol.t ->
   instance list ->
   record list
-(** Full matrix: instances x strategies x seeds. *)
+(** Full matrix: instances x strategies x seeds.
+
+    [jobs] (default 1) runs the matrix on a {!Qe_par.Pool} of that many
+    domains. The record list is {e bit-identical} at any [jobs]: tasks
+    are laid out in canonical sweep order, every run derives its RNG
+    from its own seed (never from scheduling), and results are collected
+    by task index. [jobs:1] bypasses the pool entirely. *)
 
 type obs_report = {
   per_instance : (string * Qe_obs.Metrics.snapshot) list;
@@ -84,17 +91,30 @@ type obs_report = {
 val observed_sweep :
   ?seeds:int list ->
   ?strategies:(string * Qe_runtime.Engine.strategy) list ->
+  ?jobs:int ->
   expected:(instance -> bool) ->
   Qe_runtime.Protocol.t ->
   instance list ->
   record list * obs_report
 (** {!sweep} with telemetry: each instance's runs share a fresh
     {!Qe_obs.Sink.t}, installed both as [Engine.run ~obs] and as the
-    ambient sink, so engine counters {e and} any [refine.*]/[canon.*]
-    kernel work triggered by the runs are captured together. *)
+    (domain-local) ambient sink, so engine counters {e and} any
+    [refine.*]/[canon.*] kernel work triggered by the runs are captured
+    together.
+
+    [jobs] parallelizes at {e instance} granularity — the sink-sharing
+    unit — so records, per-instance snapshots and the merged total are
+    bit-identical at any [jobs]. *)
 
 val conformance_rate : record list -> int * int
 (** (conforming runs, total runs). *)
+
+val csv_header : string
+(** The sweep CSV header used by [qelect sweep]; [wall_ns] is the last
+    column. Golden-tested — treat the column order as a public schema. *)
+
+val csv_row : record -> string
+(** One CSV line per {!record}, matching {!csv_header}'s column order. *)
 
 (** {1 Chaos campaigns}
 
@@ -145,6 +165,11 @@ type chaos_report = {
       (** outcome label -> run count, most frequent first *)
   c_zero_fault_runs : int;
   c_violating : chaos_record list;  (** records with violations *)
+  c_metrics : Qe_obs.Metrics.snapshot;
+      (** merged engine/fault metrics over every run of the sweep, in
+          canonical order ([[]] when no [obs] sink was attached). The
+          [fault.injected.*] counters here must equal the sums of the
+          records' [c_faults] — the stress tests enforce it. *)
 }
 
 val outcome_label : Qe_runtime.Engine.outcome -> string
@@ -160,6 +185,7 @@ val chaos_sweep :
   ?strategies:(string * Qe_runtime.Engine.strategy) list ->
   ?watchdog:Qe_fault.Watchdog.t ->
   ?obs:Qe_obs.Sink.t ->
+  ?jobs:int ->
   expected:(instance -> bool) ->
   Qe_runtime.Protocol.t ->
   instance list ->
@@ -167,4 +193,15 @@ val chaos_sweep :
 (** The chaos matrix: for each seed in [0..seeds-1] (default 8), each
     instance, each strategy, run both {!Qe_fault.Plan.chaos} and
     {!Qe_fault.Plan.crash_only} with that seed under [watchdog], and
-    check every safety invariant on every run. *)
+    check every safety invariant on every run.
+
+    [jobs] parallelizes at run granularity. Records, aggregates and
+    [c_metrics] are bit-identical at any [jobs] (fault decisions come
+    from the plan's private seeded streams; the stock watchdogs are
+    turn-based, so outcomes don't depend on wall time). Traces differ
+    only in their metrics lines: at [jobs:1] each run appends its sink's
+    cumulative snapshot as before, while at [jobs > 1] per-run trace
+    lines are replayed to [obs] in canonical run order with a single
+    merged snapshot at the end — `qelect report` totals agree either
+    way. A [Timeout] in one task is an ordinary outcome and never
+    disturbs the other domains. *)

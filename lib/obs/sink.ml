@@ -9,11 +9,14 @@ let create ?on_line () =
 
 let emit t line = match t.on_line with None -> () | Some f -> f line
 
-let current : t option ref = ref None
+(* Domain-local, not a plain global: each domain of a `Qe_par` pool
+   scopes its own ambient sink, so concurrent tasks never observe (or
+   clobber) each other's telemetry. Fresh domains start with no sink. *)
+let current : t option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
 
-let ambient () = !current
+let ambient () = Domain.DLS.get current
 
 let with_ambient t f =
-  let saved = !current in
-  current := Some t;
-  Fun.protect ~finally:(fun () -> current := saved) f
+  let saved = Domain.DLS.get current in
+  Domain.DLS.set current (Some t);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current saved) f

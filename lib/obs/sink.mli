@@ -7,9 +7,11 @@
       [?obs:Sink.t] (e.g. [Engine.run ?obs]) — [None] means every probe
       compiles down to an untaken branch;
     - {e ambient}: deep library code with a fixed signature (the
-      symmetry kernel) reads the process-wide current sink via
-      {!ambient}. It is process-wide but {e explicitly scoped}: only
-      {!with_ambient} installs it, and only for the extent of its thunk.
+      symmetry kernel) reads the current sink via {!ambient}. It is
+      {e domain-local} (each domain of a parallel pool has its own
+      slot, initially empty) and {e explicitly scoped}: only
+      {!with_ambient} installs it, and only for the extent of its thunk
+      on the calling domain.
       With no ambient sink installed (the default), the probe is one
       [ref] read returning [None]. *)
 
@@ -28,8 +30,9 @@ val emit : t -> Export.line -> unit
 (** Forward to [on_line]; no-op when the sink has no stream. *)
 
 val ambient : unit -> t option
-(** The currently installed ambient sink, if any. *)
+(** The ambient sink installed on the calling domain, if any. *)
 
 val with_ambient : t -> (unit -> 'a) -> 'a
-(** Install [t] as the ambient sink for the extent of the thunk
-    (exception-safe, restores the previous sink — nesting works). *)
+(** Install [t] as the calling domain's ambient sink for the extent of
+    the thunk (exception-safe, restores the previous sink — nesting
+    works). Other domains are unaffected. *)

@@ -1,0 +1,143 @@
+(* A fixed pool of domains chewing on one batch at a time.
+
+   Scheduling is free-form (domains claim chunks off an atomic cursor),
+   determinism is structural: results land in the slot of their input
+   index and errors are reported by smallest index, so nothing the
+   caller can observe depends on which domain ran what, or when. *)
+
+type batch = {
+  run : int -> unit;  (* stores its own result/error; never raises *)
+  len : int;
+  chunk : int;
+  cursor : int Atomic.t;
+  mutable active : int;  (* participants (workers + caller) still in *)
+}
+
+type t = {
+  jobs : int;
+  mutable workers : unit Domain.t list;  (* jobs - 1 spawned domains *)
+  m : Mutex.t;
+  have_work : Condition.t;
+  batch_done : Condition.t;
+  mutable batch : batch option;
+  mutable epoch : int;  (* bumped when a batch is published *)
+  mutable stop : bool;
+}
+
+let default_jobs () = max 1 (min (Domain.recommended_domain_count ()) 16)
+
+let chew b =
+  let continue_chewing = ref true in
+  while !continue_chewing do
+    let lo = Atomic.fetch_and_add b.cursor b.chunk in
+    if lo >= b.len then continue_chewing := false
+    else
+      for i = lo to min (lo + b.chunk) b.len - 1 do
+        b.run i
+      done
+  done
+
+let rec worker_loop t ~seen =
+  Mutex.lock t.m;
+  while (not t.stop) && t.epoch = seen do
+    Condition.wait t.have_work t.m
+  done;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    let epoch = t.epoch in
+    let b = Option.get t.batch in
+    Mutex.unlock t.m;
+    chew b;
+    Mutex.lock t.m;
+    b.active <- b.active - 1;
+    if b.active = 0 then Condition.broadcast t.batch_done;
+    Mutex.unlock t.m;
+    worker_loop t ~seen:epoch
+  end
+
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | None -> default_jobs ()
+    | Some j -> max 1 (min j 64)
+  in
+  let t =
+    {
+      jobs;
+      workers = [];
+      m = Mutex.create ();
+      have_work = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      epoch = 0;
+      stop = false;
+    }
+  in
+  t.workers <-
+    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t ~seen:0));
+  t
+
+let jobs t = t.jobs
+
+let map t ~f arr =
+  let len = Array.length arr in
+  if len = 0 then [||]
+  else if t.jobs = 1 then Array.mapi f arr
+  else begin
+    let results = Array.make len None in
+    let errors = Array.make len None in
+    let run i =
+      match f i arr.(i) with
+      | v -> results.(i) <- Some v
+      | exception e -> errors.(i) <- Some e
+    in
+    (* small chunks for dynamic balance; the cursor bump is the only
+       cross-domain traffic per chunk *)
+    let chunk = max 1 (len / (t.jobs * 8)) in
+    let b = { run; len; chunk; cursor = Atomic.make 0; active = t.jobs } in
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    if t.batch <> None then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool.map: pool is already running a batch"
+    end;
+    t.batch <- Some b;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.have_work;
+    Mutex.unlock t.m;
+    (* the caller is a worker too *)
+    chew b;
+    Mutex.lock t.m;
+    b.active <- b.active - 1;
+    while b.active > 0 do
+      Condition.wait t.batch_done t.m
+    done;
+    t.batch <- None;
+    Mutex.unlock t.m;
+    (* every worker's stores happen-before the final cursor/mutex
+       synchronization above, so plain array reads are safe here *)
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.map Option.get results
+  end
+
+let shutdown t =
+  Mutex.lock t.m;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    t.stop <- true;
+    Condition.broadcast t.have_work;
+    Mutex.unlock t.m;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let run ?(jobs = 1) ~f arr =
+  if jobs <= 1 then Array.mapi f arr
+  else with_pool ~jobs (fun t -> map t ~f arr)

@@ -1,0 +1,58 @@
+(** A fixed-size domain pool with a chunked work queue.
+
+    The pool exists for one job shape: embarrassingly parallel sweeps
+    whose results must be {e bit-identical} to the sequential run. The
+    contract that makes this work:
+
+    - {b index-addressed results.} {!map} writes the result of item [i]
+      into slot [i] of the output array, whatever domain computed it and
+      in whatever order chunks were claimed. Output order is the input
+      order, always.
+    - {b no hidden task state.} The pool hands a task nothing but its
+      index and item. Per-task isolation (a private [Random.State]
+      derived from the sweep seed and the item's {e index}, a private
+      {!Qe_obs.Sink.t}) is the caller's job — never derive anything
+      from submission or completion order.
+    - {b failure containment.} A task that raises does not poison the
+      batch: remaining items still run, the pool stays usable, and
+      {!map} re-raises the exception of the {e smallest failing index}
+      (so even error reporting is deterministic). Structured outcomes
+      such as [Engine.Timeout] are ordinary results, not exceptions —
+      a watchdog firing in one domain never disturbs the others.
+
+    Work is claimed in chunks off a single atomic cursor, so load
+    balances dynamically across domains while scheduling stays
+    irrelevant to the result. *)
+
+type t
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] capped at 16 — the pool is for
+    instance-level parallelism, not for oversubscribing the machine. *)
+
+val create : ?jobs:int -> unit -> t
+(** A pool of [jobs] workers (default {!default_jobs}; clamped to
+    [1, 64]). [jobs - 1] domains are spawned — the caller's domain is
+    the remaining worker, so [jobs:1] spawns nothing and {!map} runs
+    the plain sequential loop. *)
+
+val jobs : t -> int
+
+val map : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map t ~f arr] computes [|f 0 arr.(0); f 1 arr.(1); ...|], farming
+    items out to the pool's domains. Returns when every item has run.
+    If tasks raised, re-raises the exception of the smallest failing
+    index after the whole batch has finished. Not reentrant: one batch
+    at a time per pool (nested or concurrent [map] on the same pool is
+    a programming error and raises [Invalid_argument]). *)
+
+val shutdown : t -> unit
+(** Join the worker domains. Idempotent; the pool is unusable after. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [create], run, and [shutdown] (also on exception). *)
+
+val run : ?jobs:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** One-shot convenience: [jobs:1] (the default) runs the sequential
+    loop with no pool and no domains at all; otherwise a transient pool
+    is created for the call and shut down after. *)

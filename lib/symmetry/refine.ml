@@ -44,14 +44,18 @@ let build_csr g =
   done;
   { n; out_off; out_dst; out_col; in_off; in_src; in_col }
 
-let csr_cache : (Cdigraph.t * csr) option ref = ref None
+(* Domain-local: the single-slot cache is pure memoization, but letting
+   pool domains race on one shared slot would publish half-initialized
+   arrays across domains. Each domain keeps (and rebuilds) its own. *)
+let csr_cache : (Cdigraph.t * csr) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
 
 let csr_of g =
-  match !csr_cache with
+  match Domain.DLS.get csr_cache with
   | Some (g0, c) when g0 == g -> c
   | _ ->
       let c = build_csr g in
-      csr_cache := Some (g, c);
+      Domain.DLS.set csr_cache (Some (g, c));
       c
 
 (* ------------------------------------------------------------------ *)
@@ -148,21 +152,24 @@ type ws = {
   mutable arcbuf : int array;     (* packed (color, node) incident arcs *)
 }
 
-let ws =
-  {
-    elements = [||];
-    cell_of = [||];
-    cell_len = [||];
-    on_stack = [||];
-    stack = [||];
-    cnt = [||];
-    touched = [||];
-    tcells = [||];
-    tmark = [||];
-    arcbuf = [||];
-  }
+(* One workspace per domain: refine may run concurrently on the pool's
+   domains (one engine run each), and shared scratch arrays would race. *)
+let ws_key : ws Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      {
+        elements = [||];
+        cell_of = [||];
+        cell_len = [||];
+        on_stack = [||];
+        stack = [||];
+        cnt = [||];
+        touched = [||];
+        tcells = [||];
+        tmark = [||];
+        arcbuf = [||];
+      })
 
-let ensure_ws n marcs =
+let ensure_ws ws n marcs =
   if Array.length ws.elements < n then begin
     ws.elements <- Array.make n 0;
     ws.cell_of <- Array.make n 0;
@@ -196,7 +203,8 @@ let num_cells p =
    fragments, so the last fragment's splits are implied). *)
 let refine_worklist csr (p0 : partition) : partition =
   let n = csr.n in
-  ensure_ws n (Array.length csr.out_dst + Array.length csr.in_src);
+  let ws = Domain.DLS.get ws_key in
+  ensure_ws ws n (Array.length csr.out_dst + Array.length csr.in_src);
   let elements = ws.elements
   and cell_of = ws.cell_of
   and cell_len = ws.cell_len

@@ -1,0 +1,376 @@
+(* The domain pool and the deterministic-merge contract of the parallel
+   campaign runner.
+
+   The contract under test: [Qe_par.Pool] is index-deterministic (results
+   land by input slot, errors surface by smallest failing index, the pool
+   survives failed batches); and [Campaign.sweep]/[observed_sweep]/
+   [chaos_sweep] return the same records and the same metric totals at
+   any [jobs] — including under fault plans and a livelock watchdog.
+
+   Records embed [Color.t] values whose mint ids are fresh per
+   [World.make], and [wall_ns] is a clock reading, so cross-sweep
+   comparisons go through id-free normal forms (names, rendered
+   outcomes, counts), never (=) on raw records. *)
+
+module Families = Qe_graph.Families
+module World = Qe_runtime.World
+module Engine = Qe_runtime.Engine
+module Protocol = Qe_runtime.Protocol
+module Script = Qe_runtime.Script
+module Watchdog = Qe_fault.Watchdog
+module Campaign = Qe_elect.Campaign
+module Pool = Qe_par.Pool
+
+let elect = Qe_elect.Elect.protocol
+
+(* ---------- pool unit tests ---------- *)
+
+let test_pool_map_basic () =
+  Pool.with_pool ~jobs:4 (fun t ->
+      Alcotest.(check int) "jobs" 4 (Pool.jobs t);
+      let input = Array.init 100 Fun.id in
+      let out =
+        Pool.map t
+          ~f:(fun i x ->
+            Alcotest.(check int) "f sees its own index" i x;
+            x * x)
+          input
+      in
+      Alcotest.(check (array int))
+        "squares in slot order"
+        (Array.init 100 (fun i -> i * i))
+        out)
+
+let test_pool_reuse () =
+  (* batches of varying size through one pool, including empty *)
+  Pool.with_pool ~jobs:3 (fun t ->
+      for n = 0 to 5 do
+        let out = Pool.map t ~f:(fun i _ -> i + n) (Array.make (n * 17) ()) in
+        Alcotest.(check (array int))
+          (Printf.sprintf "batch %d" n)
+          (Array.init (n * 17) (fun i -> i + n))
+          out
+      done)
+
+exception Boom of int
+
+let test_pool_error_smallest_index () =
+  Pool.with_pool ~jobs:4 (fun t ->
+      (try
+         ignore
+           (Pool.map t
+              ~f:(fun i () -> if i mod 3 = 1 then raise (Boom i) else i)
+              (Array.make 50 ()));
+         Alcotest.fail "expected Boom"
+       with Boom i -> Alcotest.(check int) "smallest failing index" 1 i);
+      (* a failed batch must not wedge the pool *)
+      let out = Pool.map t ~f:(fun i () -> i) (Array.make 10 ()) in
+      Alcotest.(check int) "pool alive after error" 10 (Array.length out))
+
+let test_pool_not_reentrant () =
+  Pool.with_pool ~jobs:2 (fun t ->
+      try
+        ignore
+          (Pool.map t
+             ~f:(fun _ () -> Pool.map t ~f:(fun i () -> i) (Array.make 4 ()))
+             (Array.make 4 ()));
+        Alcotest.fail "expected Invalid_argument"
+      with Invalid_argument _ -> ())
+
+let test_pool_shutdown () =
+  let t = Pool.create ~jobs:3 () in
+  Pool.shutdown t;
+  Pool.shutdown t (* idempotent *);
+  try
+    ignore (Pool.map t ~f:(fun i () -> i) (Array.make 4 ()));
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_pool_clamp_and_run () =
+  Pool.with_pool ~jobs:0 (fun t ->
+      Alcotest.(check int) "jobs clamped to 1" 1 (Pool.jobs t));
+  Alcotest.(check bool) "default_jobs positive" true (Pool.default_jobs () >= 1);
+  (* run: the jobs:1 path is plain Array.mapi, no domains *)
+  Alcotest.(check (array int))
+    "run jobs:1"
+    [| 0; 2; 4 |]
+    (Pool.run ~f:(fun i x -> i + x) [| 0; 1; 2 |]);
+  Alcotest.(check (array int))
+    "run jobs:4"
+    [| 0; 2; 4 |]
+    (Pool.run ~jobs:4 ~f:(fun i x -> i + x) [| 0; 1; 2 |]);
+  Alcotest.(check int) "run on empty" 0
+    (Array.length (Pool.run ~jobs:4 ~f:(fun i _ -> i) [||]))
+
+(* ---------- differential determinism: sweep ---------- *)
+
+let small_zoo () =
+  List.filter
+    (fun i ->
+      List.mem i.Campaign.name
+        [ "C5/adjacent"; "path4/asym"; "star3/leaves"; "K4/pair" ])
+    (Campaign.zoo ())
+
+let two_strategies =
+  [ ("random", Engine.Random_fair 0); ("synchronous", Engine.Synchronous) ]
+
+(* id-free normal form of a record: everything except [wall_ns] (a clock
+   reading) and the token ids buried in [outcome]/[prediction] *)
+let norm (r : Campaign.record) =
+  ( ( r.Campaign.inst.Campaign.name,
+      r.Campaign.protocol_name,
+      r.Campaign.strategy_name,
+      r.Campaign.seed ),
+    ( Engine.outcome_to_string r.Campaign.outcome,
+      r.Campaign.elected,
+      r.Campaign.expected_elected,
+      r.Campaign.conforms,
+      r.Campaign.gcd ),
+    ( r.Campaign.agents,
+      r.Campaign.nodes,
+      r.Campaign.edges,
+      r.Campaign.moves,
+      r.Campaign.accesses,
+      r.Campaign.turns ) )
+
+let sweep_at ~seeds jobs =
+  Campaign.sweep ~seeds ~strategies:two_strategies ~jobs
+    ~expected:Campaign.elect_expected elect (small_zoo ())
+  |> List.map norm
+
+let prop_sweep_jobs_invariant =
+  QCheck.Test.make ~name:"sweep is bit-identical at -j 1/2/4" ~count:4
+    QCheck.(pair (int_bound 1_000) (oneofl [ 2; 4 ]))
+    (fun (seed, jobs) ->
+      let seeds = [ seed; seed + 1 ] in
+      sweep_at ~seeds 1 = sweep_at ~seeds jobs)
+
+let test_observed_sweep_jobs_invariant () =
+  let go jobs =
+    Campaign.observed_sweep ~seeds:[ 0; 1 ] ~strategies:two_strategies ~jobs
+      ~expected:Campaign.elect_expected elect (small_zoo ())
+  in
+  let r1, o1 = go 1 in
+  let r4, o4 = go 4 in
+  Alcotest.(check bool) "same records" true (List.map norm r1 = List.map norm r4);
+  (* snapshots are pure names-and-numbers data: (=) is exact *)
+  Alcotest.(check bool)
+    "same per-instance snapshots" true
+    (o1.Campaign.per_instance = o4.Campaign.per_instance);
+  Alcotest.(check bool) "same merged total" true
+    (o1.Campaign.total = o4.Campaign.total);
+  Alcotest.(check bool) "total is non-trivial" true (o1.Campaign.total <> [])
+
+(* ---------- differential determinism: chaos (fault plans) ---------- *)
+
+let cnorm (r : Campaign.chaos_record) =
+  ( ( r.Campaign.c_inst.Campaign.name,
+      r.Campaign.c_strategy,
+      r.Campaign.c_plan_kind,
+      r.Campaign.c_plan.Qe_fault.Plan.seed ),
+    ( Campaign.outcome_label r.Campaign.c_outcome,
+      List.map (fun (k, n) -> (Qe_fault.Kind.name k, n)) r.Campaign.c_faults,
+      r.Campaign.c_leaders,
+      List.length r.Campaign.c_violations,
+      r.Campaign.c_turns ) )
+
+let chaos_at ?watchdog ?(proto = elect) ?(instances = small_zoo ()) ~seeds jobs
+    =
+  (* a fresh sink per sweep: c_metrics comes from diff at -j 1 and from
+     merge at -j > 1 — the equality below is the whole point *)
+  let obs = Qe_obs.Sink.create () in
+  Campaign.chaos_sweep ~seeds ~strategies:two_strategies ?watchdog ~obs ~jobs
+    ~expected:Campaign.elect_expected proto instances
+
+let test_chaos_sweep_jobs_invariant () =
+  let r1 = chaos_at ~seeds:2 1 in
+  let r4 = chaos_at ~seeds:2 4 in
+  Alcotest.(check bool) "same records" true
+    (List.map cnorm r1.Campaign.c_records
+    = List.map cnorm r4.Campaign.c_records);
+  Alcotest.(check int) "same runs" r1.Campaign.c_runs r4.Campaign.c_runs;
+  Alcotest.(check int) "same faults fired" r1.Campaign.c_faults_fired
+    r4.Campaign.c_faults_fired;
+  Alcotest.(check bool) "same outcome histogram" true
+    (r1.Campaign.c_outcomes = r4.Campaign.c_outcomes);
+  Alcotest.(check bool) "some faults fired" true
+    (r1.Campaign.c_faults_fired > 0);
+  Alcotest.(check bool) "diffed metrics = merged metrics" true
+    (r1.Campaign.c_metrics = r4.Campaign.c_metrics);
+  Alcotest.(check bool) "metrics non-trivial" true
+    (r1.Campaign.c_metrics <> [])
+
+(* Walks forever without posting: board-progress-free, so every run ends
+   in the livelock watchdog. A Timeout in one pool domain must leave the
+   other tasks (and the aggregate) untouched. *)
+let forever_mover =
+  {
+    Protocol.name = "forever-mover";
+    quantitative = false;
+    main =
+      (fun _ctx ->
+        let rec go (obs : Protocol.observation) =
+          go (Script.move (List.hd obs.ports))
+        in
+        go (Script.observe ()));
+  }
+
+let test_chaos_livelock_watchdog_jobs_invariant () =
+  let instances =
+    List.filter
+      (fun i -> List.mem i.Campaign.name [ "C5/adjacent"; "path4/asym" ])
+      (Campaign.zoo ())
+  in
+  let wd = Watchdog.make ~livelock_window:64 () in
+  let r1 = chaos_at ~watchdog:wd ~proto:forever_mover ~instances ~seeds:2 1 in
+  let r4 = chaos_at ~watchdog:wd ~proto:forever_mover ~instances ~seeds:2 4 in
+  Alcotest.(check bool) "same records under watchdog" true
+    (List.map cnorm r1.Campaign.c_records
+    = List.map cnorm r4.Campaign.c_records);
+  (* every run timed out, and none of them poisoned the rest: the
+     parallel sweep still aggregated every task *)
+  Alcotest.(check int) "all runs completed" r1.Campaign.c_runs
+    (List.length r4.Campaign.c_records);
+  List.iter
+    (fun (r : Campaign.chaos_record) ->
+      match r.Campaign.c_outcome with
+      | Engine.Timeout Watchdog.Livelock -> ()
+      | o ->
+          Alcotest.failf "%s/%s: expected livelock timeout, got %s"
+            r.Campaign.c_inst.Campaign.name r.Campaign.c_strategy
+            (Engine.outcome_to_string o))
+    r4.Campaign.c_records
+
+(* ---------- campaign CSV + conformance rate (golden) ---------- *)
+
+let csv_golden_header =
+  "instance,family,protocol,strategy,seed,nodes,edges,agents,gcd,\
+   expected_elected,elected,conforms,moves,accesses,turns,wall_ns"
+
+let test_csv_golden () =
+  Alcotest.(check string) "header schema" csv_golden_header Campaign.csv_header;
+  let inst =
+    List.find (fun i -> i.Campaign.name = "C5/adjacent") (Campaign.zoo ())
+  in
+  let r =
+    Campaign.run_one
+      ~strategy:("round-robin", Engine.Round_robin)
+      ~seed:3 ~expected_elected:true inst elect
+  in
+  let cols = String.split_on_char ',' (Campaign.csv_row r) in
+  Alcotest.(check int) "column count" 16 (List.length cols);
+  let col n = List.nth cols n in
+  Alcotest.(check string) "instance" "C5/adjacent" (col 0);
+  Alcotest.(check string) "family" inst.Campaign.family (col 1);
+  Alcotest.(check string) "protocol" r.Campaign.protocol_name (col 2);
+  Alcotest.(check string) "strategy" "round-robin" (col 3);
+  Alcotest.(check string) "seed" "3" (col 4);
+  Alcotest.(check string) "nodes" (string_of_int r.Campaign.nodes) (col 5);
+  Alcotest.(check string) "edges" (string_of_int r.Campaign.edges) (col 6);
+  Alcotest.(check string) "agents" (string_of_int r.Campaign.agents) (col 7);
+  Alcotest.(check string) "gcd" (string_of_int r.Campaign.gcd) (col 8);
+  Alcotest.(check string) "expected_elected"
+    (string_of_bool r.Campaign.expected_elected)
+    (col 9);
+  Alcotest.(check string) "elected" (string_of_bool r.Campaign.elected) (col 10);
+  Alcotest.(check string) "conforms" (string_of_bool r.Campaign.conforms)
+    (col 11);
+  Alcotest.(check string) "moves" (string_of_int r.Campaign.moves) (col 12);
+  Alcotest.(check string) "accesses" (string_of_int r.Campaign.accesses)
+    (col 13);
+  Alcotest.(check string) "turns" (string_of_int r.Campaign.turns) (col 14);
+  Alcotest.(check string) "wall_ns last" (string_of_int r.Campaign.wall_ns)
+    (col 15)
+
+let test_conformance_rate () =
+  let records =
+    Campaign.sweep ~seeds:[ 0 ] ~strategies:two_strategies
+      ~expected:Campaign.elect_expected elect (small_zoo ())
+  in
+  let ok, total = Campaign.conformance_rate records in
+  Alcotest.(check int) "total counts every record" (List.length records) total;
+  Alcotest.(check int) "ok counts the conforming ones"
+    (List.length (List.filter (fun r -> r.Campaign.conforms) records))
+    ok;
+  Alcotest.(check int) "the small zoo conforms fully" total ok;
+  Alcotest.(check (pair int int)) "empty list" (0, 0)
+    (Campaign.conformance_rate [])
+
+(* ---------- soak (CI only: QELECT_SOAK=1) ---------- *)
+
+(* 500 fault-plan seeds at -j 4 on a small instance pair: zero
+   certification-consistency violations, and the sweep's merged
+   [fault.injected.*] counters must equal the per-record fault totals.
+   Gated behind an env var — ~4k chaos runs is CI soak material, not an
+   editor-loop test. *)
+let test_soak () =
+  match Sys.getenv_opt "QELECT_SOAK" with
+  | None | Some "" | Some "0" ->
+      print_endline "soak skipped (set QELECT_SOAK=1 to run)"
+  | Some _ ->
+      let instances =
+        List.filter
+          (fun i -> List.mem i.Campaign.name [ "C5/adjacent"; "K4/pair" ])
+          (Campaign.zoo ())
+      in
+      let obs = Qe_obs.Sink.create () in
+      let report =
+        Campaign.chaos_sweep ~seeds:500 ~strategies:two_strategies ~obs
+          ~jobs:4 ~expected:Campaign.elect_expected elect instances
+      in
+      Alcotest.(check int) "matrix size" (500 * 2 * 2 * 2)
+        report.Campaign.c_runs;
+      (match report.Campaign.c_violating with
+      | [] -> ()
+      | v :: _ ->
+          Alcotest.failf "soak: %d violating runs (first: %s/%s/%s seed %d)"
+            (List.length report.Campaign.c_violating)
+            v.Campaign.c_inst.Campaign.name v.Campaign.c_strategy
+            v.Campaign.c_plan_kind v.Campaign.c_plan.Qe_fault.Plan.seed);
+      let counter name =
+        match Qe_obs.Metrics.find report.Campaign.c_metrics name with
+        | Some (Qe_obs.Metrics.Counter n) -> n
+        | _ -> 0
+      in
+      Alcotest.(check int) "fault.injected = summed record faults"
+        report.Campaign.c_faults_fired (counter "fault.injected");
+      List.iter
+        (fun (k, n) ->
+          Alcotest.(check int)
+            ("fault.injected." ^ Qe_fault.Kind.name k)
+            n
+            (counter ("fault.injected." ^ Qe_fault.Kind.name k)))
+        report.Campaign.c_by_kind;
+      Alcotest.(check bool) "faults actually fired" true
+        (report.Campaign.c_faults_fired > 0)
+
+let () =
+  Alcotest.run "par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map basic" `Quick test_pool_map_basic;
+          Alcotest.test_case "reuse" `Quick test_pool_reuse;
+          Alcotest.test_case "error by smallest index" `Quick
+            test_pool_error_smallest_index;
+          Alcotest.test_case "not reentrant" `Quick test_pool_not_reentrant;
+          Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
+          Alcotest.test_case "clamp + run" `Quick test_pool_clamp_and_run;
+        ] );
+      ( "determinism",
+        [
+          QCheck_alcotest.to_alcotest prop_sweep_jobs_invariant;
+          Alcotest.test_case "observed_sweep" `Quick
+            test_observed_sweep_jobs_invariant;
+          Alcotest.test_case "chaos_sweep (fault plans)" `Quick
+            test_chaos_sweep_jobs_invariant;
+          Alcotest.test_case "chaos_sweep (livelock watchdog)" `Quick
+            test_chaos_livelock_watchdog_jobs_invariant;
+        ] );
+      ( "campaign-csv",
+        [
+          Alcotest.test_case "golden schema" `Quick test_csv_golden;
+          Alcotest.test_case "conformance rate" `Quick test_conformance_rate;
+        ] );
+      ("soak", [ Alcotest.test_case "500-seed chaos -j 4" `Slow test_soak ]);
+    ]

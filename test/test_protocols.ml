@@ -1,0 +1,197 @@
+(* Unit tests for the two protocol modules that had none: the Section 4
+   ad-hoc Petersen protocol (the paper's proof that ELECT is not
+   effectual beyond Cayley graphs) and gathering-via-election
+   (footnote 2). *)
+
+module Families = Qe_graph.Families
+module World = Qe_runtime.World
+module Engine = Qe_runtime.Engine
+module Protocol = Qe_runtime.Protocol
+module Campaign = Qe_elect.Campaign
+module Gathering = Qe_elect.Gathering
+module Petersen_adhoc = Qe_elect.Petersen_adhoc
+
+let elect = Qe_elect.Elect.protocol
+
+let run ?(strategy = Engine.Random_fair 0) ?(seed = 0) g black proto =
+  let w = World.make g ~black in
+  Engine.run ~strategy ~seed w proto
+
+(* ---------- Petersen ad-hoc (Section 4) ---------- *)
+
+let test_adhoc_elects_where_elect_fails () =
+  let g = Families.petersen () in
+  (* Theorem 3.1 side: gcd(2,4,4) = 2, so ELECT must give up here *)
+  let r = run g [ 0; 1 ] elect in
+  (match r.Engine.outcome with
+  | Engine.Declared_unsolvable -> ()
+  | o ->
+      Alcotest.failf "ELECT on Petersen/adjacent should give up, got %s"
+        (Engine.outcome_to_string o));
+  (* Section 4 side: the ad-hoc protocol elects on the same instance,
+     under every scheduler and several seeds *)
+  List.iter
+    (fun (sname, strat) ->
+      List.iter
+        (fun seed ->
+          let strategy =
+            match strat with
+            | Engine.Random_fair _ -> Engine.Random_fair seed
+            | s -> s
+          in
+          let r = run ~strategy ~seed g [ 0; 1 ] Petersen_adhoc.protocol in
+          match r.Engine.outcome with
+          | Engine.Elected _ ->
+              let leaders =
+                List.filter
+                  (fun (_, v) -> v = Protocol.Leader)
+                  r.Engine.verdicts
+              in
+              Alcotest.(check int)
+                (Printf.sprintf "%s/seed %d: one leader" sname seed)
+                1 (List.length leaders)
+          | o ->
+              Alcotest.failf "ad-hoc %s/seed %d: expected election, got %s"
+                sname seed (Engine.outcome_to_string o))
+        [ 0; 1; 2; 3 ])
+    Campaign.strategies
+
+let test_adhoc_aborts_off_petersen () =
+  (* the protocol is instance-specific by design: anywhere else it must
+     abort (surfaced by the engine as Inconsistent), never elect *)
+  List.iter
+    (fun (name, g, black) ->
+      let r = run g black Petersen_adhoc.protocol in
+      match r.Engine.outcome with
+      | Engine.Inconsistent _ ->
+          Alcotest.(check bool) (name ^ ": some agent aborted") true
+            (List.exists
+               (fun (_, v) ->
+                 match v with Protocol.Aborted _ -> true | _ -> false)
+               r.Engine.verdicts)
+      | o ->
+          Alcotest.failf "%s: expected abort, got %s" name
+            (Engine.outcome_to_string o))
+    [
+      ("C6 antipodal", Families.cycle 6, [ 0; 3 ]);
+      ("K4 pair", Families.complete 4, [ 0; 1 ]);
+      ("petersen non-adjacent", Families.petersen (), [ 0; 2 ]);
+      ("petersen three agents", Families.petersen (), [ 0; 1; 2 ]);
+    ]
+
+(* ---------- gathering (footnote 2) ---------- *)
+
+let gathering_cases () =
+  List.filter
+    (fun i ->
+      List.mem i.Campaign.name
+        [ "C5/adjacent"; "path4/asym"; "C6/antipodal"; "star3/leaves" ])
+    (Campaign.zoo ())
+
+let test_gathering_matches_election_oracle () =
+  (* solvable instance => everyone halts on the leader's node; unsolvable
+     => all agents report failure from their home-bases *)
+  List.iter
+    (fun inst ->
+      let expected = Campaign.elect_expected inst in
+      List.iter
+        (fun seed ->
+          let r =
+            run
+              ~strategy:(Engine.Random_fair seed)
+              ~seed inst.Campaign.graph inst.Campaign.black Gathering.protocol
+          in
+          let name = Printf.sprintf "%s/seed %d" inst.Campaign.name seed in
+          if expected then begin
+            (match r.Engine.outcome with
+            | Engine.Elected _ -> ()
+            | o ->
+                Alcotest.failf "%s: expected election, got %s" name
+                  (Engine.outcome_to_string o));
+            Alcotest.(check bool) (name ^ ": gathered") true
+              (Gathering.gathered r);
+            match r.Engine.final_locations with
+            | [] -> Alcotest.fail (name ^ ": no final locations")
+            | (_, node) :: rest ->
+                List.iter
+                  (fun (_, n) ->
+                    Alcotest.(check int) (name ^ ": same node") node n)
+                  rest
+          end
+          else begin
+            (match r.Engine.outcome with
+            | Engine.Declared_unsolvable -> ()
+            | o ->
+                Alcotest.failf "%s: expected unsolvable, got %s" name
+                  (Engine.outcome_to_string o));
+            Alcotest.(check bool) (name ^ ": not gathered") false
+              (Gathering.gathered r);
+            (* failure is reported from the home-bases *)
+            Alcotest.(check (list int)) (name ^ ": agents stayed home")
+              (List.sort compare inst.Campaign.black)
+              (List.sort compare (List.map snd r.Engine.final_locations))
+          end)
+        [ 0; 1; 2 ])
+    (gathering_cases ())
+
+let test_gathering_solo_agent () =
+  (* one agent: it elects itself and is trivially gathered *)
+  let r = run (Families.cycle 6) [ 2 ] Gathering.protocol in
+  (match r.Engine.outcome with
+  | Engine.Elected _ -> ()
+  | o -> Alcotest.failf "solo agent: %s" (Engine.outcome_to_string o));
+  Alcotest.(check bool) "solo gathered" true (Gathering.gathered r)
+
+let test_gathering_across_strategies () =
+  (* the meeting point may vary with the schedule; the invariant (all on
+     one node, that node is the leader's) may not *)
+  List.iter
+    (fun (sname, strategy) ->
+      let r =
+        run ~strategy (Families.path 4) [ 0; 2 ] Gathering.protocol
+      in
+      match r.Engine.outcome with
+      | Engine.Elected leader ->
+          Alcotest.(check bool) (sname ^ ": gathered") true
+            (Gathering.gathered r);
+          let leader_node =
+            List.assoc_opt leader r.Engine.final_locations
+          in
+          List.iter
+            (fun (_, n) ->
+              Alcotest.(check (option int))
+                (sname ^ ": on the leader's node")
+                (Some n) leader_node)
+            r.Engine.final_locations
+      | o ->
+          Alcotest.failf "%s: expected election, got %s" sname
+            (Engine.outcome_to_string o))
+    (List.map
+       (fun (name, s) -> (name, s))
+       [
+         ("random", Engine.Random_fair 1);
+         ("round-robin", Engine.Round_robin);
+         ("lifo", Engine.Lifo);
+         ("fifo-mailbox", Engine.Fifo_mailbox);
+         ("synchronous", Engine.Synchronous);
+       ])
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "petersen-adhoc",
+        [
+          Alcotest.test_case "elects where ELECT fails" `Quick
+            test_adhoc_elects_where_elect_fails;
+          Alcotest.test_case "aborts off its instance" `Quick
+            test_adhoc_aborts_off_petersen;
+        ] );
+      ( "gathering",
+        [
+          Alcotest.test_case "matches the election oracle" `Quick
+            test_gathering_matches_election_oracle;
+          Alcotest.test_case "solo agent" `Quick test_gathering_solo_agent;
+          Alcotest.test_case "across strategies" `Quick
+            test_gathering_across_strategies;
+        ] );
+    ]
