@@ -612,10 +612,12 @@ let brute_plan map =
   let whites =
     List.sort by_cert (List.filter (fun c -> not (is_black c)) all)
   in
-  {
-    Elect.classes = List.map snd (blacks @ whites);
-    num_black = List.length blacks;
-  }
+  let classes = List.map snd (blacks @ whites) in
+  let node_class = Array.make n (-1) in
+  List.iteri
+    (fun i members -> List.iter (fun u -> node_class.(u) <- i) members)
+    classes;
+  { Elect.classes; num_black = List.length blacks; node_class }
 
 let elect_brute =
   {
@@ -854,14 +856,15 @@ let sigma_explorer () =
 
 (* Bumped once per PR that changes the perf landscape; the emitted
    BENCH_<n>.json files at the repo root form the tracked trajectory. *)
-let bench_revision = 4
+let bench_revision = 5
 
 (* Sections deposit their numbers here and every write re-emits all of
-   them, so `bench perf par-scaling` composes one complete
-   BENCH_4.json instead of the last section clobbering the others. *)
+   them, so `bench perf par-scaling cache` composes one complete
+   BENCH_5.json instead of the last section clobbering the others. *)
 let recorded_times : (string * float) list ref = ref []
 let recorded_leaves : (string * int) list ref = ref []
 let recorded_scaling : (string * float) list ref = ref []
+let recorded_cache : (string * float) list ref = ref []
 
 let write_bench_json path =
   let buf = Buffer.create 1024 in
@@ -889,6 +892,9 @@ let write_bench_json path =
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"par_scaling\": {\n";
   obj "%S: %.3f" !recorded_scaling;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"cache\": {\n";
+  obj "%S: %.3f" !recorded_cache;
   Buffer.add_string buf "  }\n}\n";
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
@@ -1260,6 +1266,126 @@ let par_scaling () =
   write_bench_json out;
   Printf.printf "wrote %s\n" out
 
+(* ---------- artifact cache: cold vs warm vs disabled sweeps ---------- *)
+
+let cache_bench () =
+  section "Cache: multi-seed sweep with the symmetry artifact cache";
+  print_endline
+    "the same conformance sweep (strategies x 8 seeds) over a suite of\n\
+     nontrivially-symmetric instances, three ways: cache disabled (every\n\
+     run recomputes classes, certificates and oracle verdicts), cache\n\
+     cold (first sweep after clear: misses populate it), cache warm\n\
+     (second sweep: pure hits). Records are asserted identical across\n\
+     all three — the cache may only change the clock.\n";
+  let module Cache = Qe_symmetry.Artifact_cache in
+  let suite =
+    [
+      Campaign.instance ~name:"torus6x6/pair" ~family:"torus" ~cayley:true
+        (Families.torus 6 6) ~black:[ 0; 7 ];
+      Campaign.instance ~name:"Q4/pair" ~family:"hypercube" ~cayley:true
+        (Families.hypercube 4) ~black:[ 0; 15 ];
+      Campaign.instance ~name:"C12/break" ~family:"cycle" ~cayley:true
+        (Families.cycle 12) ~black:[ 0; 1; 5 ];
+      Campaign.instance ~name:"petersen/pair" ~family:"petersen" ~cayley:false
+        (Families.petersen ()) ~black:[ 0; 1 ];
+      Campaign.instance ~name:"circ12-15/pair" ~family:"circulant"
+        ~cayley:true
+        (Families.circulant 12 [ 1; 5 ])
+        ~black:[ 0; 6 ];
+    ]
+  in
+  let seeds = List.init 8 Fun.id in
+  let sweep jobs () =
+    Campaign.sweep ~seeds ~jobs ~expected:Campaign.elect_expected
+      Qe_elect.Elect.protocol suite
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let rows = ref [] and fails = ref [] in
+  Fun.protect
+    ~finally:(fun () ->
+      (* never leave the process-wide switch off for later sections *)
+      Cache.set_enabled true;
+      Cache.clear ();
+      Cache.reset_stats ())
+    (fun () ->
+      List.iter
+        (fun jobs ->
+          Cache.set_enabled false;
+          ignore (sweep jobs ()) (* warm up code + allocator, untimed *);
+          let recs_off, t_off = time (sweep jobs) in
+          Cache.set_enabled true;
+          Cache.clear ();
+          Cache.reset_stats ();
+          let recs_cold, t_cold = time (sweep jobs) in
+          let recs_warm, t_warm = time (sweep jobs) in
+          let hit_rate = Cache.hit_rate (Cache.stats ()) in
+          (* Elected outcomes embed per-sweep mint ids, so cross-sweep
+             records are compared through their stable CSV rendering,
+             minus the trailing wall_ns column (the clock is exactly
+             what may change) *)
+          let csv rs =
+            List.map
+              (fun r ->
+                let row = Campaign.csv_row r in
+                match String.rindex_opt row ',' with
+                | Some i -> String.sub row 0 i
+                | None -> row)
+              rs
+          in
+          let same =
+            csv recs_off = csv recs_cold && csv recs_cold = csv recs_warm
+          in
+          let j = Printf.sprintf "j%d" jobs in
+          recorded_cache :=
+            !recorded_cache
+            @ [
+                ("sweep-off/" ^ j, t_off *. 1e9);
+                ("sweep-cold/" ^ j, t_cold *. 1e9);
+                ("sweep-warm/" ^ j, t_warm *. 1e9);
+                ("speedup-cold/" ^ j, t_off /. t_cold);
+                ("speedup-warm/" ^ j, t_off /. t_warm);
+              ];
+          if jobs = 1 then
+            recorded_cache :=
+              !recorded_cache @ [ ("warm-hit-rate", 100. *. hit_rate) ];
+          rows :=
+            !rows
+            @ [
+                [
+                  Printf.sprintf "-j %d" jobs;
+                  Printf.sprintf "%7.3f s" t_off;
+                  Printf.sprintf "%7.3f s" t_cold;
+                  Printf.sprintf "%7.3f s" t_warm;
+                  Printf.sprintf "%.2fx" (t_off /. t_warm);
+                  Printf.sprintf "%.1f%%" (100. *. hit_rate);
+                  string_of_bool same;
+                ];
+              ];
+          if not same then fails := (j ^ ": records diverged") :: !fails;
+          if t_off /. t_warm < 2.0 then
+            fails :=
+              Printf.sprintf "%s: warm speedup %.2fx < 2x" j (t_off /. t_warm)
+              :: !fails)
+        [ 1; 4 ]);
+  print_table
+    [ "jobs"; "no-cache"; "cold"; "warm"; "warm speedup"; "hit-rate"; "same records" ]
+    !rows;
+  Printf.printf "\n(%d runs per sweep: %d instances x %d strategies x 8 seeds)\n"
+    (List.length suite * List.length Campaign.strategies * 8)
+    (List.length suite)
+    (List.length Campaign.strategies);
+  let out = Printf.sprintf "BENCH_%d.json" bench_revision in
+  write_bench_json out;
+  Printf.printf "wrote %s\n" out;
+  if !fails <> [] then begin
+    List.iter (fun m -> Printf.printf "FAIL: %s\n" m) !fails;
+    exit 1
+  end
+
 (* ---------- driver ---------- *)
 
 let sections =
@@ -1281,6 +1407,7 @@ let sections =
     ("obs-overhead", obs_overhead);
     ("fault-overhead", fault_overhead);
     ("par-scaling", par_scaling);
+    ("cache", cache_bench);
   ]
 
 let () =

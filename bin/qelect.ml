@@ -441,8 +441,31 @@ let save_cmd instance graph agents out =
 let resolve_jobs jobs =
   if jobs = 0 then Qe_par.Pool.default_jobs () else max 1 jobs
 
-let sweep_cmd protocol seeds jobs =
+module Cache = Qe_symmetry.Artifact_cache
+
+(* print to [out] so sweep (CSV on stdout) can route stats to stderr *)
+let print_cache_stats out =
+  let rows = Cache.stats () in
+  let active =
+    List.filter (fun (r : Cache.stat) -> r.Cache.hits + r.Cache.misses > 0) rows
+  in
+  List.iter
+    (fun (r : Cache.stat) ->
+      Printf.fprintf out "# cache: %-18s hits=%-7d misses=%-5d waits=%d\n"
+        r.Cache.kind r.Cache.hits r.Cache.misses r.Cache.single_flight_waits)
+    active;
+  let hits = List.fold_left (fun a (r : Cache.stat) -> a + r.Cache.hits) 0 rows in
+  let misses =
+    List.fold_left (fun a (r : Cache.stat) -> a + r.Cache.misses) 0 rows
+  in
+  Printf.fprintf out "# cache: total hits=%d misses=%d hit-rate=%.1f%%\n" hits
+    misses
+    (100. *. Cache.hit_rate rows)
+
+let sweep_cmd protocol seeds jobs no_cache stats =
   try
+    if no_cache then Cache.set_enabled false;
+    Cache.reset_stats ();
     let proto, expected =
       match protocol with
       | "elect" -> (Qe_elect.Elect.protocol, Campaign.elect_expected)
@@ -461,13 +484,16 @@ let sweep_cmd protocol seeds jobs =
     List.iter (fun r -> print_endline (Campaign.csv_row r)) records;
     let ok, total = Campaign.conformance_rate records in
     Printf.eprintf "# conformance: %d/%d\n" ok total;
+    if stats then print_cache_stats stderr;
     `Ok ()
   with Failure msg -> `Error (false, msg)
 
 (* ---------- chaos ---------- *)
 
-let chaos_cmd protocol seeds trace_out jobs =
+let chaos_cmd protocol seeds trace_out jobs no_cache stats =
   try
+    if no_cache then Cache.set_enabled false;
+    Cache.reset_stats ();
     let proto =
       match protocol with
       | "elect" -> Qe_elect.Elect.protocol
@@ -519,6 +545,7 @@ let chaos_cmd protocol seeds trace_out jobs =
     (match trace_out with
     | Some path -> Printf.printf "chaos trace written to %s\n" path
     | None -> ());
+    if stats then print_cache_stats stdout;
     if viol <> [] then outcome_exit_code := exit_chaos_violation;
     `Ok ()
   with Failure msg -> `Error (false, msg)
@@ -631,8 +658,31 @@ let jobs_arg =
            0 means auto-size for this machine."
         ~docv:"N")
 
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the symmetry artifact cache: every run recomputes its \
+           classes, certificates and oracle verdicts from scratch. Records \
+           and metrics are bit-identical either way (modulo $(b,cache.*) \
+           counters); this flag exists for benchmarking and differential \
+           testing.")
+
+let cache_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print per-kind artifact-cache statistics (hits, misses, \
+           single-flight waits) and the pooled hit-rate after the sweep. \
+           Written to stderr for $(b,sweep) so the CSV stream stays clean.")
+
 let sweep_term =
-  Term.(ret (const sweep_cmd $ protocol_arg $ seeds_arg $ jobs_arg))
+  Term.(
+    ret
+      (const sweep_cmd $ protocol_arg $ seeds_arg $ jobs_arg $ no_cache_arg
+     $ cache_stats_arg))
 
 let chaos_seeds_arg =
   Arg.(
@@ -650,7 +700,7 @@ let chaos_trace_out_arg =
 let chaos_term =
   Term.(
     ret (const chaos_cmd $ protocol_arg $ chaos_seeds_arg
-       $ chaos_trace_out_arg $ jobs_arg))
+       $ chaos_trace_out_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg))
 
 let run_exits =
   Cmd.Exit.info exit_deadlock ~doc:"The run ended in a deadlock."

@@ -77,7 +77,14 @@ val sweep :
     domains. The record list is {e bit-identical} at any [jobs]: tasks
     are laid out in canonical sweep order, every run derives its RNG
     from its own seed (never from scheduling), and results are collected
-    by task index. [jobs:1] bypasses the pool entirely. *)
+    by task index. [jobs:1] bypasses the pool entirely.
+
+    When the {!Qe_symmetry.Artifact_cache} is enabled (the default),
+    every sweep first prewarms the per-instance oracle artifacts once,
+    so the per-(strategy, seed) runs hit the cache instead of
+    recomputing the symmetry stack — observably transparent: records
+    and metric snapshots are identical with the cache disabled, modulo
+    the [cache.*] counters. *)
 
 type obs_report = {
   per_instance : (string * Qe_obs.Metrics.snapshot) list;

@@ -23,11 +23,29 @@ let div_pos a b =
   let q = (a - 1) / b in
   (q, a - (q * b))
 
-type plan = { classes : int list list; num_black : int }
+type plan = {
+  classes : int list list;
+  num_black : int;
+  node_class : int array;
+}
 
-let generic_plan map =
-  let t = Classes.compute (Mapping.bicolored map) in
-  { classes = Classes.classes t; num_black = Classes.num_black_classes t }
+let plan_of_classes t ~n =
+  {
+    classes = Classes.classes t;
+    num_black = Classes.num_black_classes t;
+    node_class = Array.init n (Classes.class_of_node t);
+  }
+
+module Cache = Qe_symmetry.Artifact_cache
+
+let plan_tbl : plan Cache.table = Cache.create_table ~kind:"elect.plan" ()
+
+let make_plan b =
+  Cache.memo plan_tbl ~key:(Cache.exact_key b) (fun () ->
+      plan_of_classes (Cache.classes b)
+        ~n:(Qe_graph.Graph.n (Qe_graph.Bicolored.graph b)))
+
+let generic_plan map = make_plan (Mapping.bicolored map)
 
 let predicted_gcd b = Classes.gcd_sizes (Classes.compute b)
 
@@ -45,10 +63,7 @@ let run_on_map plan_of (ctx : Protocol.ctx) map =
     | Some c -> c
     | None -> failwith "elect: expected a home-base"
   in
-  let my_class =
-    let rec go i = if List.mem me classes.(i) then i else go (i + 1) in
-    go 0
-  in
+  let my_class = plan.node_class.(me) in
 
   (* -- board predicates -- *)
   let signs_with_tag tag board = List.filter (Sign.has_tag tag) board in

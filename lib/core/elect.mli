@@ -32,10 +32,23 @@ val predicted_gcd : Qe_graph.Bicolored.t -> int
 type plan = {
   classes : int list list;  (** ordered [C_1 .. C_k] in map numbering *)
   num_black : int;  (** [ℓ] *)
+  node_class : int array;
+      (** node -> index into [classes]: O(1) class lookup during the
+          run, precomputed when the plan is built *)
 }
 
+val plan_of_classes : Qe_symmetry.Classes.t -> n:int -> plan
+(** Package computed classes (over an [n]-node map) as a plan, filling
+    [node_class]. *)
+
+val make_plan : Qe_graph.Bicolored.t -> plan
+(** COMPUTE & ORDER for a bicolored map, memoized in
+    {!Qe_symmetry.Artifact_cache} (kind ["elect.plan"], exact-key): all
+    agents of all runs on the same drawn map share one computation. *)
+
 val generic_plan : Mapping.t -> plan
-(** COMPUTE & ORDER with the Definition 2.1 classes. *)
+(** {!make_plan} on the map's bicolored graph — the Definition 2.1
+    classes. *)
 
 val run_with_plan : (Mapping.t -> plan) -> Qe_runtime.Protocol.ctx ->
   Qe_runtime.Protocol.verdict

@@ -1,13 +1,25 @@
 module Protocol = Qe_runtime.Protocol
 module Cayley_detect = Qe_symmetry.Cayley_detect
+module Cache = Qe_symmetry.Artifact_cache
+
+(* Both per-run map analyses are pure functions of the drawn map, and
+   the map numbering is deterministic per (instance, home) — so they are
+   memoized like the oracle predicates. Recognition dominates the cost
+   of an elect-cayley run; translation testing shares Oracle's table. *)
+let recognize_tbl : Cayley_detect.outcome Cache.table =
+  Cache.create_table ~kind:"cayley.recognize" ()
+
+let recognize g =
+  Cache.memo recognize_tbl ~key:(Cache.graph_key g) (fun () ->
+      Cayley_detect.recognize g)
 
 let locally_impossible g ~black =
-  Cayley_detect.exists_preserving_translation g ~black
+  Oracle.translation_impossible (Qe_graph.Bicolored.make g ~black)
 
 let main (ctx : Protocol.ctx) =
   let map = Mapping.explore ctx in
   let g = Mapping.graph map in
-  match Cayley_detect.recognize g with
+  match recognize g with
   | Cayley_detect.Cayley _ ->
       if locally_impossible g ~black:(Mapping.home_bases map) then
         (* Theorem 4.1: a placement-preserving translation exists, so an

@@ -3,20 +3,42 @@ module Graph = Qe_graph.Graph
 module Classes = Qe_symmetry.Classes
 module Cayley_detect = Qe_symmetry.Cayley_detect
 module Label_equiv = Qe_symmetry.Label_equiv
+module Cache = Qe_symmetry.Artifact_cache
 module Engine = Qe_runtime.Engine
 
 type prediction = Solvable | Unsolvable | Frontier
 
-let gcd_classes b = Classes.gcd_sizes (Classes.compute b)
+(* Every oracle predicate is a pure function of the bicolored instance,
+   so each routes through an {!Qe_symmetry.Artifact_cache} table keyed
+   by the instance's exact structural certificate. The [gcd]/[predict]
+   computations share one [Classes.compute] through the nested
+   [Cache.classes] entry — the historical double computation inside
+   [predict] collapses to a single cached one. *)
+let gcd_tbl : int Cache.table = Cache.create_table ~kind:"oracle.gcd" ()
+
+let predict_tbl : prediction Cache.table =
+  Cache.create_table ~kind:"oracle.predict" ()
+
+let translation_tbl : bool Cache.table =
+  Cache.create_table ~kind:"oracle.translation" ()
+
+let symlab_tbl : bool Cache.table =
+  Cache.create_table ~kind:"oracle.symlab" ()
+
+let gcd_classes b =
+  Cache.memo gcd_tbl ~key:(Cache.exact_key b) (fun () ->
+      Classes.gcd_sizes (Cache.classes b))
 
 let elect_prediction b =
   if gcd_classes b = 1 then `Elects else `Reports_failure
 
 let translation_impossible b =
-  Cayley_detect.exists_preserving_translation (Bicolored.graph b)
-    ~black:(Bicolored.blacks b)
+  Cache.memo translation_tbl ~key:(Cache.exact_key b) (fun () ->
+      Cayley_detect.exists_preserving_translation (Bicolored.graph b)
+        ~black:(Bicolored.blacks b))
 
 let symmetric_labeling_exists b =
+  Cache.memo symlab_tbl ~key:(Cache.exact_key b) @@ fun () ->
   let g = Bicolored.graph b in
   let subgroups = Cayley_detect.all_regular_subgroups g in
   List.exists
@@ -37,9 +59,10 @@ let symmetric_labeling_exists b =
     subgroups
 
 let predict b =
-  if translation_impossible b then Unsolvable
-  else if gcd_classes b = 1 then Solvable
-  else Frontier
+  Cache.memo predict_tbl ~key:(Cache.exact_key b) (fun () ->
+      if translation_impossible b then Unsolvable
+      else if gcd_classes b = 1 then Solvable
+      else Frontier)
 
 let is_cayley g =
   match Cayley_detect.recognize g with

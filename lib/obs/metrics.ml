@@ -166,6 +166,21 @@ let merge a b =
     (fun kv -> Some kv)
     a b
 
+let apply r snap =
+  List.iter
+    (fun (name, s) ->
+      match s with
+      | Counter v -> add (counter r name) v
+      | Gauge v -> record_max (gauge r name) v
+      | Hist h ->
+          let dst = histogram ~buckets:h.bounds r name in
+          Array.iteri
+            (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c)
+            h.counts;
+          dst.sum <- dst.sum + h.sum;
+          dst.count <- dst.count + h.count)
+    snap
+
 let render snap =
   let buf = Buffer.create 512 in
   let width =

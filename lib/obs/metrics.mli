@@ -79,6 +79,17 @@ val merge : snapshot -> snapshot -> snapshot
     take the max (gauges are used as high-water marks throughout).
     @raise Invalid_argument on mismatched kinds or bounds. *)
 
+val apply : registry -> snapshot -> unit
+(** Replay a snapshot into a live registry: counters {!add} their value,
+    gauges {!record_max} theirs, histograms add bucket counts, sum and
+    count (registering instruments on first use, histograms with the
+    snapshot's bounds). Applying an interval reading ({!diff}) is
+    equivalent to re-recording the observations it summarizes — the
+    cache layer uses this to make memoized computations
+    metric-transparent.
+    @raise Invalid_argument on a kind or bounds clash with an existing
+    instrument of the same name. *)
+
 val render : snapshot -> string
 (** A two-column text table (name, value); histograms render as
     [count/sum/mean] plus their non-empty buckets. *)

@@ -1,0 +1,233 @@
+module Metrics = Qe_obs.Metrics
+module Sink = Qe_obs.Sink
+
+(* ---------- global switch ---------- *)
+
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* ---------- sink plumbing ---------- *)
+
+let bump name =
+  match Sink.ambient () with
+  | None -> ()
+  | Some s -> Metrics.incr (Metrics.counter s.Sink.metrics name)
+
+let replay delta =
+  if delta <> [] then
+    match Sink.ambient () with
+    | None -> ()
+    | Some s -> Metrics.apply s.Sink.metrics delta
+
+(* Stored deltas must never carry cache counters: a nested memo records
+   its own cache.hit/miss into the outer computation's scratch sink, and
+   replaying those on every outer hit would double-count them. *)
+let strip_cache snap =
+  List.filter
+    (fun (name, _) -> not (String.starts_with ~prefix:"cache." name))
+    snap
+
+(* ---------- sharded single-flight tables ---------- *)
+
+let num_shards = 32 (* power of two: shard = hash land (num_shards - 1) *)
+
+type 'a entry =
+  | Ready of ('a, exn) result * Metrics.snapshot
+      (** value (or deterministic failure) + the kernel-metric delta its
+          computation recorded, replayed on every lookup *)
+  | In_flight of flight
+
+and flight = {
+  fl_m : Mutex.t;
+  fl_cv : Condition.t;
+  mutable fl_done : bool;
+}
+
+type 'a shard = { m : Mutex.t; tbl : (string, 'a entry) Hashtbl.t }
+
+type 'a table = {
+  kind : string;
+  shards : 'a shard array;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  waits : int Atomic.t;
+}
+
+type stat = {
+  kind : string;
+  hits : int;
+  misses : int;
+  single_flight_waits : int;
+}
+
+(* Registry of every table, type-erased to the operations clear/stats/
+   reset need. Guarded by its own mutex: tables are created at
+   module-init time, but [clear]/[stats] may race with domain spawn. *)
+type reg_entry = {
+  r_kind : string;
+  r_clear : unit -> unit;
+  r_stat : unit -> stat;
+  r_reset : unit -> unit;
+}
+
+let registry : reg_entry list ref = ref []
+let registry_m = Mutex.create ()
+
+let create_table ~kind () =
+  let t =
+    {
+      kind;
+      shards =
+        Array.init num_shards (fun _ ->
+            { m = Mutex.create (); tbl = Hashtbl.create 16 });
+      hits = Atomic.make 0;
+      misses = Atomic.make 0;
+      waits = Atomic.make 0;
+    }
+  in
+  let clear_t () =
+    Array.iter
+      (fun s ->
+        Mutex.lock s.m;
+        (* drop only settled entries: a racing computer will still
+           publish its Ready over the In_flight it owns *)
+        Hashtbl.iter
+          (fun k e -> match e with Ready _ -> Hashtbl.remove s.tbl k | _ -> ())
+          (Hashtbl.copy s.tbl);
+        Mutex.unlock s.m)
+      t.shards
+  in
+  let stat_t () =
+    {
+      kind = t.kind;
+      hits = Atomic.get t.hits;
+      misses = Atomic.get t.misses;
+      single_flight_waits = Atomic.get t.waits;
+    }
+  in
+  let reset_t () =
+    Atomic.set t.hits 0;
+    Atomic.set t.misses 0;
+    Atomic.set t.waits 0
+  in
+  Mutex.lock registry_m;
+  let dup = List.exists (fun e -> e.r_kind = kind) !registry in
+  if dup then begin
+    Mutex.unlock registry_m;
+    invalid_arg ("Artifact_cache.create_table: duplicate kind " ^ kind)
+  end;
+  registry :=
+    { r_kind = kind; r_clear = clear_t; r_stat = stat_t; r_reset = reset_t }
+    :: !registry;
+  Mutex.unlock registry_m;
+  t
+
+let with_registry f =
+  Mutex.lock registry_m;
+  let entries = !registry in
+  Mutex.unlock registry_m;
+  f entries
+
+let clear () = with_registry (List.iter (fun e -> e.r_clear ()))
+let reset_stats () = with_registry (List.iter (fun e -> e.r_reset ()))
+
+let stats () =
+  with_registry (List.map (fun e -> e.r_stat ()))
+  |> List.sort (fun a b -> String.compare a.kind b.kind)
+
+let hit_rate rows =
+  let h = List.fold_left (fun a r -> a + r.hits) 0 rows in
+  let m = List.fold_left (fun a r -> a + r.misses) 0 rows in
+  if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
+
+let publish shard key fl res delta =
+  Mutex.lock shard.m;
+  Hashtbl.replace shard.tbl key (Ready (res, delta));
+  Mutex.unlock shard.m;
+  Mutex.lock fl.fl_m;
+  fl.fl_done <- true;
+  Condition.broadcast fl.fl_cv;
+  Mutex.unlock fl.fl_m
+
+let memo t ~key compute =
+  if not (enabled ()) then compute ()
+  else begin
+    let shard = t.shards.(Hashtbl.hash key land (num_shards - 1)) in
+    let rec lookup () =
+      Mutex.lock shard.m;
+      match Hashtbl.find_opt shard.tbl key with
+      | Some (Ready (res, delta)) ->
+          Mutex.unlock shard.m;
+          Atomic.incr t.hits;
+          bump ("cache.hit." ^ t.kind);
+          replay delta;
+          (match res with Ok v -> v | Error e -> raise e)
+      | Some (In_flight fl) ->
+          Mutex.unlock shard.m;
+          Atomic.incr t.waits;
+          bump "cache.single_flight_wait";
+          Mutex.lock fl.fl_m;
+          while not fl.fl_done do
+            Condition.wait fl.fl_cv fl.fl_m
+          done;
+          Mutex.unlock fl.fl_m;
+          lookup ()
+      | None ->
+          let fl =
+            { fl_m = Mutex.create (); fl_cv = Condition.create ();
+              fl_done = false }
+          in
+          Hashtbl.replace shard.tbl key (In_flight fl);
+          Mutex.unlock shard.m;
+          Atomic.incr t.misses;
+          bump ("cache.miss." ^ t.kind);
+          (* compute under a scratch sink so the kernel delta can be
+             stored and replayed on every future hit — metric placement
+             is then identical to the uncached computation *)
+          let scratch = Sink.create () in
+          let res =
+            match Sink.with_ambient scratch compute with
+            | v -> Ok v
+            | exception e -> Error e
+          in
+          let delta =
+            strip_cache (Metrics.snapshot scratch.Sink.metrics)
+          in
+          publish shard key fl res delta;
+          replay delta;
+          (match res with Ok v -> v | Error e -> raise e)
+    in
+    lookup ()
+  end
+
+(* ---------- keys and cached artifacts ---------- *)
+
+let exact_key b = Cdigraph.certificate_of_identity (Cdigraph.of_bicolored b)
+let graph_key g = Cdigraph.certificate_of_identity (Cdigraph.of_graph g)
+
+let classes_tbl : Classes.t table = create_table ~kind:"classes" ()
+let fingerprint_tbl : string table = create_table ~kind:"certificate" ()
+
+let classes b = memo classes_tbl ~key:(exact_key b) (fun () -> Classes.compute b)
+
+let fingerprint b =
+  memo fingerprint_tbl ~key:(exact_key b) (fun () ->
+      let r = Canon.run (Cdigraph.of_bicolored b) in
+      (* black-node orbit signature: sorted sizes of the orbits that
+         contain home-bases, an isomorphism invariant of the placement *)
+      let reps =
+        List.sort_uniq compare
+          (List.map (fun u -> r.Canon.orbits.(u)) (Qe_graph.Bicolored.blacks b))
+      in
+      let size_of rep =
+        let n = Array.length r.Canon.orbits in
+        let c = ref 0 in
+        for u = 0 to n - 1 do
+          if r.Canon.orbits.(u) = rep then incr c
+        done;
+        !c
+      in
+      let sig_ = List.sort compare (List.map size_of reps) in
+      r.Canon.certificate ^ "#black-orbits:"
+      ^ String.concat "," (List.map string_of_int sig_))

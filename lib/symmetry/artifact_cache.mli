@@ -1,0 +1,107 @@
+(** Fingerprint-keyed memoization of symmetry artifacts across runs and
+    domains.
+
+    Every sweep record used to recompute the whole symmetry stack —
+    {!Classes.compute}, the oracle verdicts, the ELECT plan — per
+    (instance, strategy, seed), even though all of them are pure
+    functions of the bicolored instance. This module is a process-wide,
+    domain-safe cache for those artifacts: a fixed array of shards, each
+    a [Mutex]-protected [Hashtbl], with {e single-flight} admission so
+    two domains asking for the same key never duplicate an in-flight
+    computation (the second blocks on a condition variable until the
+    first publishes).
+
+    {b Keys.} The primary key of every table is the {e exact} structural
+    certificate of the instance ({!exact_key}: the
+    {!Cdigraph.certificate_of_identity} of its bicolored digraph —
+    numbering-sensitive on purpose). Agent maps are drawn
+    deterministically per (instance, home), so exact keys already
+    capture all cross-seed / cross-strategy redundancy, while keeping
+    every numbering-dependent byproduct ([canon.*] / [refine.*]
+    counters, class node ids) bit-identical to the uncached computation.
+    The {e canonical} fingerprint ({!fingerprint}: [Canon] certificate
+    plus black-node orbit signature, equal across isomorphic instances)
+    is itself one of the memoized artifacts.
+
+    {b Metric transparency.} A miss runs the computation under a private
+    scratch sink and stores the resulting kernel-metric delta next to
+    the value; every lookup — hit or miss — replays that delta into the
+    caller's ambient sink via {!Qe_obs.Metrics.apply}. Cached and
+    uncached sweeps therefore produce identical metric snapshots, modulo
+    the cache's own [cache.hit.<kind>] / [cache.miss.<kind>] /
+    [cache.single_flight_wait] counters (stripped from stored deltas so
+    replays never inject stale cache counters). Exceptions
+    (e.g. {!Canon.Budget_exceeded}) are deterministic for a given key,
+    so they are cached and re-raised like values. *)
+
+(** {1 Global switch} *)
+
+val set_enabled : bool -> unit
+(** Disable ([false]) or re-enable the cache process-wide. While
+    disabled, {!memo} calls the computation directly — no scratch sink,
+    no counters: exactly the pre-cache behavior. Backs
+    [qelect sweep|chaos --no-cache]. *)
+
+val enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop every entry of every table (stats are kept; see
+    {!reset_stats}). Safe to call concurrently with lookups. *)
+
+(** {1 Tables} *)
+
+type 'a table
+(** A named memo table. [kind] tags the telemetry counters
+    ([cache.hit.<kind>], [cache.miss.<kind>]) and the {!stats} row. *)
+
+val create_table : kind:string -> unit -> 'a table
+(** Tables register themselves in a process-wide list so {!clear} and
+    {!stats} can reach them; create them once at module toplevel.
+    @raise Invalid_argument if [kind] is already taken. *)
+
+val memo : 'a table -> key:string -> (unit -> 'a) -> 'a
+(** [memo t ~key f] returns the cached value for [key], or runs [f]
+    (single-flight across domains) and caches its result — including a
+    raised exception, which is re-raised on every subsequent hit.
+    Do not call [memo t ~key] recursively from its own [f] (it would
+    deadlock on its own flight); nesting across distinct tables or keys
+    is fine and is how the plan table layers on the classes table. *)
+
+(** {1 Statistics} *)
+
+type stat = {
+  kind : string;
+  hits : int;  (** includes single-flight waiters *)
+  misses : int;
+  single_flight_waits : int;
+}
+
+val stats : unit -> stat list
+(** One row per table, sorted by [kind]. Process-global counts since the
+    last {!reset_stats} — unlike the [cache.*] sink counters, these are
+    tallied even when no ambient sink is installed. *)
+
+val reset_stats : unit -> unit
+
+val hit_rate : stat list -> float
+(** Pooled [hits / (hits + misses)] over the rows; [0.] when idle. *)
+
+(** {1 Keys and cached artifacts} *)
+
+val exact_key : Qe_graph.Bicolored.t -> string
+(** The identity certificate of the instance's bicolored digraph: equal
+    iff same graph numbering and same placement. O(n + m), no search. *)
+
+val graph_key : Qe_graph.Graph.t -> string
+(** Same, for a bare (uncolored) graph. *)
+
+val fingerprint : Qe_graph.Bicolored.t -> string
+(** Canonical instance fingerprint: the {!Canon} certificate of the
+    bicolored digraph joined with the black-node orbit signature (sorted
+    sizes of the orbits containing home-bases). Equal exactly on
+    isomorphic instances. Memoized (kind ["certificate"]) under the
+    exact key. *)
+
+val classes : Qe_graph.Bicolored.t -> Classes.t
+(** Memoized {!Classes.compute} (kind ["classes"], default leaf
+    budget). *)

@@ -14,6 +14,11 @@ let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 let gcd_all = List.fold_left gcd 0
 
 let compute ?max_leaves b =
+  (match Qe_obs.Sink.ambient () with
+  | Some s ->
+      Qe_obs.Metrics.incr
+        (Qe_obs.Metrics.counter s.Qe_obs.Sink.metrics "classes.compute")
+  | None -> ());
   (* The classes are the orbits of the color-preserving automorphisms
      (equivalently: nodes with isomorphic surroundings — Lemma 3.1's first
      claim, cross-checked in the test suite). One automorphism run finds

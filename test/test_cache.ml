@@ -1,0 +1,342 @@
+(* The symmetry artifact cache (Qe_symmetry.Artifact_cache).
+
+   Contracts under test:
+   - keys: exact keys are numbering-sensitive, canonical fingerprints are
+     numbering-blind (equal exactly on isomorphic instances);
+   - memo: one computation per key, exceptions cached and re-raised,
+     per-kind stats;
+   - single-flight: 8 domains racing one cold key produce exactly one
+     miss and one execution of the thunk;
+   - transparency: sweeps with the cache on and off produce the same
+     records, and observed sweeps the same metric snapshots modulo the
+     cache.* counters, at -j 1 and -j 4;
+   - satellite regressions: Oracle.predict computes the classes exactly
+     once (the classes.compute call-count metric), and Elect plans carry
+     a node_class index consistent with the class lists. *)
+
+module Graph = Qe_graph.Graph
+module Bicolored = Qe_graph.Bicolored
+module Families = Qe_graph.Families
+module Engine = Qe_runtime.Engine
+module Campaign = Qe_elect.Campaign
+module Oracle = Qe_elect.Oracle
+module Elect = Qe_elect.Elect
+module Cache = Qe_symmetry.Artifact_cache
+module Metrics = Qe_obs.Metrics
+module Sink = Qe_obs.Sink
+
+let elect = Qe_elect.Elect.protocol
+
+(* the whole binary runs with the cache in whatever state earlier tests
+   left it; every test that toggles the switch restores it *)
+let with_cache_enabled on f =
+  let before = Cache.enabled () in
+  Cache.set_enabled on;
+  Fun.protect ~finally:(fun () -> Cache.set_enabled before) f
+
+let stat_of kind =
+  match List.find_opt (fun s -> s.Cache.kind = kind) (Cache.stats ()) with
+  | Some s -> s
+  | None -> Alcotest.failf "no stats row for kind %s" kind
+
+(* ---------- keys ---------- *)
+
+(* C6 under a shuffled numbering: same abstract instance, different
+   identity certificate *)
+let c6_antipodal () = Bicolored.make (Families.cycle 6) ~black:[ 0; 3 ]
+
+let c6_antipodal_relabeled () =
+  let p = [| 3; 1; 4; 0; 5; 2 |] in
+  let edges = List.init 6 (fun i -> (p.(i), p.((i + 1) mod 6))) in
+  Bicolored.make (Graph.of_edges ~n:6 edges) ~black:[ p.(0); p.(3) ]
+
+let test_keys () =
+  let b = c6_antipodal () and b' = c6_antipodal_relabeled () in
+  Alcotest.(check bool)
+    "exact keys are numbering-sensitive" false
+    (Cache.exact_key b = Cache.exact_key b');
+  Alcotest.(check string) "fingerprints are numbering-blind"
+    (Cache.fingerprint b) (Cache.fingerprint b');
+  let adjacent = Bicolored.make (Families.cycle 6) ~black:[ 0; 1 ] in
+  Alcotest.(check bool)
+    "different placements, different fingerprints" false
+    (Cache.fingerprint b = Cache.fingerprint adjacent);
+  Alcotest.(check bool)
+    "exact_key is cheap and deterministic" true
+    (Cache.exact_key b = Cache.exact_key (c6_antipodal ()))
+
+(* ---------- memo basics ---------- *)
+
+let basic_tbl : int Cache.table = Cache.create_table ~kind:"test.basic" ()
+
+let test_memo_basics () =
+  with_cache_enabled true @@ fun () ->
+  Cache.clear ();
+  Cache.reset_stats ();
+  let computes = ref 0 in
+  let get k =
+    Cache.memo basic_tbl ~key:k (fun () ->
+        incr computes;
+        String.length k)
+  in
+  Alcotest.(check int) "first call computes" 1 (get "a");
+  Alcotest.(check int) "second call hits" 1 (get "a");
+  Alcotest.(check int) "distinct key computes" 2 (get "bb");
+  Alcotest.(check int) "one compute per key" 2 !computes;
+  let s = stat_of "test.basic" in
+  Alcotest.(check int) "misses" 2 s.Cache.misses;
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Cache.clear ();
+  Alcotest.(check int) "clear drops entries" 1 (get "a");
+  Alcotest.(check int) "recompute after clear" 3 !computes;
+  Alcotest.(check bool) "duplicate kind rejected" true
+    (try
+       ignore (Cache.create_table ~kind:"test.basic" () : int Cache.table);
+       false
+     with Invalid_argument _ -> true)
+
+let test_disabled_bypasses () =
+  with_cache_enabled false @@ fun () ->
+  Cache.reset_stats ();
+  let computes = ref 0 in
+  let get () =
+    Cache.memo basic_tbl ~key:"disabled" (fun () ->
+        incr computes;
+        0)
+  in
+  ignore (get ());
+  ignore (get ());
+  Alcotest.(check int) "disabled cache recomputes every call" 2 !computes;
+  let s = stat_of "test.basic" in
+  Alcotest.(check int) "no hits while disabled" 0 s.Cache.hits;
+  Alcotest.(check int) "no misses while disabled" 0 s.Cache.misses
+
+exception Boom
+
+let err_tbl : unit Cache.table = Cache.create_table ~kind:"test.error" ()
+
+let test_exception_caching () =
+  with_cache_enabled true @@ fun () ->
+  Cache.clear ();
+  let computes = ref 0 in
+  let get () =
+    Cache.memo err_tbl ~key:"k" (fun () ->
+        incr computes;
+        raise Boom)
+  in
+  Alcotest.check_raises "first call raises" Boom get;
+  Alcotest.check_raises "hit re-raises the cached exception" Boom get;
+  Alcotest.(check int) "the failing thunk ran once" 1 !computes
+
+(* ---------- single-flight across domains ---------- *)
+
+let hammer_tbl : int Cache.table = Cache.create_table ~kind:"test.hammer" ()
+
+let test_single_flight_hammer () =
+  with_cache_enabled true @@ fun () ->
+  Cache.clear ();
+  Cache.reset_stats ();
+  let domains = 8 in
+  let arrivals = Atomic.make 0 in
+  let computes = Atomic.make 0 in
+  let body () =
+    (* every domain announces itself before calling memo, and the one
+       that wins the flight spins until all have: the other seven are
+       guaranteed to resolve this key while it is in flight or already
+       published — never by computing it themselves *)
+    Atomic.incr arrivals;
+    Cache.memo hammer_tbl ~key:"shared" (fun () ->
+        Atomic.incr computes;
+        while Atomic.get arrivals < domains do
+          Domain.cpu_relax ()
+        done;
+        42)
+  in
+  let ds = List.init (domains - 1) (fun _ -> Domain.spawn body) in
+  let mine = body () in
+  let vals = mine :: List.map Domain.join ds in
+  Alcotest.(check (list int))
+    "every domain sees the one computed value"
+    (List.init domains (fun _ -> 42))
+    vals;
+  Alcotest.(check int) "the thunk ran exactly once" 1 (Atomic.get computes);
+  let s = stat_of "test.hammer" in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "seven hits" (domains - 1) s.Cache.hits;
+  Alcotest.(check bool)
+    "waits within [0, 7]" true
+    (s.Cache.single_flight_waits >= 0
+    && s.Cache.single_flight_waits <= domains - 1)
+
+(* ---------- differential: cached vs --no-cache sweeps ---------- *)
+
+let small_zoo () =
+  List.filter
+    (fun i ->
+      List.mem i.Campaign.name
+        [ "C5/adjacent"; "path4/asym"; "star3/leaves"; "K4/pair" ])
+    (Campaign.zoo ())
+
+let two_strategies =
+  [ ("random", Engine.Random_fair 0); ("synchronous", Engine.Synchronous) ]
+
+(* id-free normal form: everything except wall_ns and mint ids *)
+let norm (r : Campaign.record) =
+  ( ( r.Campaign.inst.Campaign.name,
+      r.Campaign.strategy_name,
+      r.Campaign.seed ),
+    ( Engine.outcome_to_string r.Campaign.outcome,
+      r.Campaign.elected,
+      r.Campaign.conforms,
+      r.Campaign.gcd ),
+    (r.Campaign.moves, r.Campaign.accesses, r.Campaign.turns) )
+
+let strip_cache snap =
+  List.filter
+    (fun (name, _) -> not (String.starts_with ~prefix:"cache." name))
+    snap
+
+let prop_sweep_differential =
+  QCheck.Test.make ~name:"cached sweep = --no-cache sweep (-j 1/4)" ~count:3
+    QCheck.(pair (int_bound 1_000) (oneofl [ 1; 4 ]))
+    (fun (seed, jobs) ->
+      let seeds = [ seed; seed + 1 ] in
+      let go () =
+        Campaign.sweep ~seeds ~strategies:two_strategies ~jobs
+          ~expected:Campaign.elect_expected elect (small_zoo ())
+        |> List.map norm
+      in
+      let cached = with_cache_enabled true go in
+      let uncached = with_cache_enabled false go in
+      cached = uncached)
+
+let test_observed_sweep_differential () =
+  let go jobs =
+    Campaign.observed_sweep ~seeds:[ 0; 1 ] ~strategies:two_strategies ~jobs
+      ~expected:Campaign.elect_expected elect (small_zoo ())
+  in
+  List.iter
+    (fun jobs ->
+      let rc, oc = with_cache_enabled true (fun () -> go jobs) in
+      let ru, ou = with_cache_enabled false (fun () -> go jobs) in
+      Alcotest.(check bool)
+        (Printf.sprintf "same records at -j %d" jobs)
+        true
+        (List.map norm rc = List.map norm ru);
+      Alcotest.(check bool)
+        (Printf.sprintf "uncached snapshots carry no cache.* (-j %d)" jobs)
+        true
+        (List.for_all
+           (fun (_, s) -> strip_cache s = s)
+           ou.Campaign.per_instance);
+      (* the cached run's snapshots must be the uncached ones plus only
+         cache.* counters: metric-delta replay hides the memoization *)
+      Alcotest.(check bool)
+        (Printf.sprintf "same per-instance snapshots modulo cache.* (-j %d)"
+           jobs)
+        true
+        (List.map (fun (k, s) -> (k, strip_cache s)) oc.Campaign.per_instance
+        = ou.Campaign.per_instance);
+      Alcotest.(check bool)
+        (Printf.sprintf "same merged total modulo cache.* (-j %d)" jobs)
+        true
+        (strip_cache oc.Campaign.total = ou.Campaign.total))
+    [ 1; 4 ]
+
+let test_chaos_differential () =
+  let go () =
+    let r =
+      Campaign.chaos_sweep ~seeds:1 ~strategies:two_strategies ~jobs:2
+        ~expected:Campaign.elect_expected elect (small_zoo ())
+    in
+    ( List.map
+        (fun (c : Campaign.chaos_record) ->
+          ( c.Campaign.c_inst.Campaign.name,
+            c.Campaign.c_strategy,
+            c.Campaign.c_plan_kind,
+            Engine.outcome_to_string c.Campaign.c_outcome,
+            c.Campaign.c_leaders,
+            c.Campaign.c_turns,
+            List.length c.Campaign.c_violations ))
+        r.Campaign.c_records,
+      r.Campaign.c_outcomes,
+      r.Campaign.c_faults_fired )
+  in
+  let cached = with_cache_enabled true go in
+  let uncached = with_cache_enabled false go in
+  Alcotest.(check bool) "chaos campaign unchanged by the cache" true
+    (cached = uncached)
+
+(* ---------- satellite regressions ---------- *)
+
+(* Oracle.predict must compute the equivalence classes exactly once —
+   the classes.compute counter is bumped by Classes.compute itself and
+   (on hits) replayed by the cache, so it counts logical computations
+   either way *)
+let classes_computes f =
+  let sink = Sink.create () in
+  Sink.with_ambient sink f;
+  match
+    Metrics.find (Metrics.snapshot sink.Sink.metrics) "classes.compute"
+  with
+  | Some (Metrics.Counter n) -> n
+  | _ -> 0
+
+let test_predict_computes_classes_once () =
+  let b = Bicolored.make (Families.wheel 6) ~black:[ 0; 2; 4 ] in
+  with_cache_enabled false (fun () ->
+      Alcotest.(check int) "uncached predict: one classes.compute" 1
+        (classes_computes (fun () -> ignore (Oracle.predict b))));
+  with_cache_enabled true (fun () ->
+      Cache.clear ();
+      Alcotest.(check int) "cold predict: one classes.compute" 1
+        (classes_computes (fun () -> ignore (Oracle.predict b)));
+      Alcotest.(check int) "warm predict replays the same single count" 1
+        (classes_computes (fun () -> ignore (Oracle.predict b))))
+
+let test_plan_node_class () =
+  List.iter
+    (fun (i : Campaign.instance) ->
+      let b = Campaign.bicolored i in
+      let plan = Elect.make_plan b in
+      let n = Graph.n i.Campaign.graph in
+      Alcotest.(check int)
+        (i.Campaign.name ^ ": node_class covers every node")
+        n
+        (Array.length plan.Elect.node_class);
+      Array.iteri
+        (fun u c ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: node %d in classes.(%d)" i.Campaign.name u c)
+            true
+            (List.mem u (List.nth plan.Elect.classes c)))
+        plan.Elect.node_class)
+    (small_zoo ())
+
+let () =
+  Alcotest.run "cache"
+    [
+      ("keys", [ Alcotest.test_case "exact vs fingerprint" `Quick test_keys ]);
+      ( "memo",
+        [
+          Alcotest.test_case "basics + stats" `Quick test_memo_basics;
+          Alcotest.test_case "disabled bypass" `Quick test_disabled_bypasses;
+          Alcotest.test_case "exception caching" `Quick test_exception_caching;
+          Alcotest.test_case "single-flight hammer (8 domains)" `Quick
+            test_single_flight_hammer;
+        ] );
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_sweep_differential;
+          Alcotest.test_case "observed_sweep modulo cache.*" `Quick
+            test_observed_sweep_differential;
+          Alcotest.test_case "chaos_sweep" `Quick test_chaos_differential;
+        ] );
+      ( "satellites",
+        [
+          Alcotest.test_case "predict computes classes once" `Quick
+            test_predict_computes_classes_once;
+          Alcotest.test_case "plan node_class index" `Quick
+            test_plan_node_class;
+        ] );
+    ]

@@ -101,6 +101,27 @@ let test_merge () =
     "one-sided name kept" true
     (Metrics.find m "only" = Some (Metrics.Counter 1))
 
+let test_apply () =
+  let mk c g =
+    let r = Metrics.create () in
+    Metrics.add (Metrics.counter r "n") c;
+    Metrics.record_max (Metrics.gauge r "hwm") g;
+    Metrics.observe (Metrics.histogram r "h") c;
+    r
+  in
+  (* applying a snapshot to a fresh registry reproduces it *)
+  let snap = Metrics.snapshot (mk 3 10) in
+  let fresh = Metrics.create () in
+  Metrics.apply fresh snap;
+  Alcotest.(check bool) "apply to fresh = copy" true
+    (Metrics.snapshot fresh = snap);
+  (* applying into a live registry behaves like merge *)
+  let dst = mk 5 7 in
+  Metrics.apply dst snap;
+  Alcotest.(check bool)
+    "apply into live = merge" true
+    (Metrics.snapshot dst = Metrics.merge (Metrics.snapshot (mk 5 7)) snap)
+
 let test_diff_of_merge_roundtrip () =
   (* diff ~after:(merge a b) ~before:a recovers b's counters *)
   let mk c =
@@ -557,6 +578,7 @@ let () =
           Alcotest.test_case "snapshot+diff" `Quick
             test_snapshot_sorted_and_diff;
           Alcotest.test_case "merge" `Quick test_merge;
+          Alcotest.test_case "apply" `Quick test_apply;
           Alcotest.test_case "diff of merge" `Quick
             test_diff_of_merge_roundtrip;
         ] );

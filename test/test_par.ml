@@ -153,12 +153,21 @@ let test_observed_sweep_jobs_invariant () =
   let r1, o1 = go 1 in
   let r4, o4 = go 4 in
   Alcotest.(check bool) "same records" true (List.map norm r1 = List.map norm r4);
-  (* snapshots are pure names-and-numbers data: (=) is exact *)
+  (* snapshots are pure names-and-numbers data: (=) is exact — except the
+     cache.* counters, which depend on what the process-wide artifact
+     cache already holds from earlier runs (the first sweep warms it for
+     the second), so jobs-invariance is asserted modulo them *)
+  let strip snap =
+    List.filter
+      (fun (name, _) -> not (String.starts_with ~prefix:"cache." name))
+      snap
+  in
+  let strip_all l = List.map (fun (k, s) -> (k, strip s)) l in
   Alcotest.(check bool)
     "same per-instance snapshots" true
-    (o1.Campaign.per_instance = o4.Campaign.per_instance);
+    (strip_all o1.Campaign.per_instance = strip_all o4.Campaign.per_instance);
   Alcotest.(check bool) "same merged total" true
-    (o1.Campaign.total = o4.Campaign.total);
+    (strip o1.Campaign.total = strip o4.Campaign.total);
   Alcotest.(check bool) "total is non-trivial" true (o1.Campaign.total <> [])
 
 (* ---------- differential determinism: chaos (fault plans) ---------- *)
