@@ -451,15 +451,20 @@ let print_cache_stats out =
   in
   List.iter
     (fun (r : Cache.stat) ->
-      Printf.fprintf out "# cache: %-18s hits=%-7d misses=%-5d waits=%d\n"
-        r.Cache.kind r.Cache.hits r.Cache.misses r.Cache.single_flight_waits)
+      Printf.fprintf out
+        "# cache: %-18s hits=%-7d (l1=%d l2=%d) misses=%-5d waits=%d\n"
+        r.Cache.kind r.Cache.hits r.Cache.l1_hits
+        (r.Cache.hits - r.Cache.l1_hits)
+        r.Cache.misses r.Cache.single_flight_waits)
     active;
   let hits = List.fold_left (fun a (r : Cache.stat) -> a + r.Cache.hits) 0 rows in
+  let l1 = List.fold_left (fun a (r : Cache.stat) -> a + r.Cache.l1_hits) 0 rows in
   let misses =
     List.fold_left (fun a (r : Cache.stat) -> a + r.Cache.misses) 0 rows
   in
-  Printf.fprintf out "# cache: total hits=%d misses=%d hit-rate=%.1f%%\n" hits
-    misses
+  Printf.fprintf out
+    "# cache: total hits=%d (l1=%d l2=%d) misses=%d hit-rate=%.1f%%\n" hits l1
+    (hits - l1) misses
     (100. *. Cache.hit_rate rows)
 
 let sweep_cmd protocol seeds jobs no_cache stats =
@@ -476,9 +481,14 @@ let sweep_cmd protocol seeds jobs no_cache stats =
       | other -> failwith (other ^ ": sweep supports elect, elect-cayley, quantitative")
     in
     let seeds = List.init (max 1 seeds) Fun.id in
+    let jobs = resolve_jobs jobs in
+    (* the resolved value goes to stderr, never into the CSV: the CSV
+       byte stream is the determinism contract and must not depend on
+       which -j produced it *)
+    Printf.eprintf "# jobs: %d (cores: %d)\n" jobs
+      (Domain.recommended_domain_count ());
     let records =
-      Campaign.sweep ~seeds ~jobs:(resolve_jobs jobs) ~expected proto
-        (Campaign.zoo ())
+      Campaign.sweep ~seeds ~jobs ~expected proto (Campaign.zoo ())
     in
     print_endline Campaign.csv_header;
     List.iter (fun r -> print_endline (Campaign.csv_row r)) records;
@@ -503,11 +513,14 @@ let chaos_cmd protocol seeds trace_out jobs no_cache stats =
     let seeds = max 1 seeds in
     let jobs = resolve_jobs jobs in
     Printf.printf
-      "chaos: %d seeds x %d instances x %d strategies x 2 plans (-j %d)\n%!"
+      "chaos: %d seeds x %d instances x %d strategies x 2 plans (-j %d, %d \
+       cores)\n\
+       %!"
       seeds
       (List.length (Campaign.zoo ()))
       (List.length Campaign.strategies)
-      jobs;
+      jobs
+      (Domain.recommended_domain_count ());
     let oc = Option.map open_out trace_out in
     let obs =
       Option.map

@@ -232,7 +232,17 @@ let elect_expected inst = Oracle.gcd_classes (bicolored inst) = 1
    plan's seed, and telemetry goes to a task- or instance-private sink),
    so no observable value depends on which domain ran a task or when.
    [jobs:1] (the default) runs the plain sequential loop with no pool
-   and no domains at all. *)
+   and no domains at all; [jobs:0] means "ask the machine"
+   ([Qe_par.Pool.default_jobs]). *)
+
+let resolve_jobs jobs =
+  if jobs = 0 then Qe_par.Pool.default_jobs () else max 1 jobs
+
+(* Relative cost estimate handed to the pool's LPT assignment: symmetry
+   refinement, the oracle and the engine all scale with the instance's
+   graph, so nodes + edges keeps a torus from serializing a queue of
+   cycles behind it. Purely advisory — results never depend on it. *)
+let instance_weight inst = Graph.n inst.graph + Graph.m inst.graph
 
 (* Hoist the per-instance symmetry artifacts out of the per-seed loop:
    resolve the oracle verdicts (and, through them, the classes) once per
@@ -253,6 +263,7 @@ let prewarm instances =
 
 let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
     ~expected proto instances =
+  let jobs = resolve_jobs jobs in
   prewarm instances;
   let tasks =
     List.concat_map
@@ -266,6 +277,7 @@ let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
     |> Array.of_list
   in
   Qe_par.Pool.run ~jobs
+    ~weight:(fun _ (inst, _, _, _) -> instance_weight inst)
     ~f:(fun _ (inst, strat, seed, expected_elected) ->
       run_one ~strategy:strat ~seed ~expected_elected inst proto)
     tasks
@@ -278,6 +290,7 @@ type obs_report = {
 
 let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
     ~expected proto instances =
+  let jobs = resolve_jobs jobs in
   prewarm instances;
   (* parallel at instance granularity: one sink per instance is the
      published contract of [obs_report], and an instance's runs sharing
@@ -285,6 +298,7 @@ let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
      so per-instance snapshots are bit-identical at any [jobs] *)
   let per_inst =
     Qe_par.Pool.run ~jobs
+      ~weight:(fun _ inst -> instance_weight inst)
       ~f:(fun _ inst ->
         let expected_elected = expected inst in
         (* one sink per instance: engine counters arrive via ?obs, kernel
@@ -394,6 +408,8 @@ type chaos_report = {
   c_violating : chaos_record list;  (** records with [c_violations <> []] *)
   c_metrics : Qe_obs.Metrics.snapshot;
       (** the sweep's merged engine/fault metrics ([[]] without [obs]) *)
+  c_jobs : int;  (** resolved job count the sweep actually ran with *)
+  c_cores : int;  (** [Domain.recommended_domain_count ()] at run time *)
 }
 
 let outcome_label = function
@@ -481,6 +497,7 @@ let chaos_run ?obs ~strategy:(strategy_name, strategy) ~seed ~watchdog
 let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
     ?(watchdog = default_chaos_watchdog) ?obs ?(jobs = 1) ~expected proto
     instances =
+  let jobs = resolve_jobs jobs in
   prewarm instances;
   let tasks =
     List.concat_map
@@ -547,6 +564,7 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
       in
       let results =
         Qe_par.Pool.run ~jobs
+          ~weight:(fun _ (_, inst, _, _, _, _) -> instance_weight inst)
           ~f:(fun _ (seed, inst, expected_elected, strategy, plan_kind, plan)
              ->
             match obs with
@@ -627,4 +645,6 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
       List.length (List.filter (fun r -> r.c_faults = []) records);
     c_violating = List.filter (fun r -> r.c_violations <> []) records;
     c_metrics;
+    c_jobs = jobs;
+    c_cores = Domain.recommended_domain_count ();
   }

@@ -74,10 +74,13 @@ val sweep :
 (** Full matrix: instances x strategies x seeds.
 
     [jobs] (default 1) runs the matrix on a {!Qe_par.Pool} of that many
-    domains. The record list is {e bit-identical} at any [jobs]: tasks
+    domains; [jobs:0] resolves to {!Qe_par.Pool.default_jobs} (the CLI's
+    [-j 0]). The record list is {e bit-identical} at any [jobs]: tasks
     are laid out in canonical sweep order, every run derives its RNG
     from its own seed (never from scheduling), and results are collected
-    by task index. [jobs:1] bypasses the pool entirely.
+    by task index. [jobs:1] bypasses the pool entirely. Instance sizes
+    (nodes + edges) are passed to the pool as scheduling weights, so a
+    heavyweight instance gets a queue to itself.
 
     When the {!Qe_symmetry.Artifact_cache} is enabled (the default),
     every sweep first prewarms the per-instance oracle artifacts once,
@@ -111,7 +114,7 @@ val observed_sweep :
 
     [jobs] parallelizes at {e instance} granularity — the sink-sharing
     unit — so records, per-instance snapshots and the merged total are
-    bit-identical at any [jobs]. *)
+    bit-identical at any [jobs] ([jobs:0] = auto, as in {!sweep}). *)
 
 val conformance_rate : record list -> int * int
 (** (conforming runs, total runs). *)
@@ -177,6 +180,10 @@ type chaos_report = {
           canonical order ([[]] when no [obs] sink was attached). The
           [fault.injected.*] counters here must equal the sums of the
           records' [c_faults] — the stress tests enforce it. *)
+  c_jobs : int;
+      (** the job count the sweep actually ran with ([jobs:0]
+          resolved) — scaling numbers are meaningless without it *)
+  c_cores : int;  (** [Domain.recommended_domain_count ()] at run time *)
 }
 
 val outcome_label : Qe_runtime.Engine.outcome -> string
@@ -202,7 +209,9 @@ val chaos_sweep :
     {!Qe_fault.Plan.crash_only} with that seed under [watchdog], and
     check every safety invariant on every run.
 
-    [jobs] parallelizes at run granularity. Records, aggregates and
+    [jobs] parallelizes at run granularity ([jobs:0] = auto, as in
+    {!sweep}; the resolved value is reported as [c_jobs]). Records,
+    aggregates and
     [c_metrics] are bit-identical at any [jobs] (fault decisions come
     from the plan's private seeded streams; the stock watchdogs are
     turn-based, so outcomes don't depend on wall time). Traces differ

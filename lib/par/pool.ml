@@ -1,15 +1,22 @@
 (* A fixed pool of domains chewing on one batch at a time.
 
-   Scheduling is free-form (domains claim chunks off an atomic cursor),
-   determinism is structural: results land in the slot of their input
-   index and errors are reported by smallest index, so nothing the
-   caller can observe depends on which domain ran what, or when. *)
+   Scheduling is size-aware and self-balancing (each participant owns a
+   queue of indices, assigned largest-weight-first, and steals from the
+   others when its own runs dry), determinism is structural: results
+   land in the slot of their input index and errors are reported by
+   smallest index, so nothing the caller can observe depends on which
+   domain ran what, or when. *)
+
+module Metrics = Qe_obs.Metrics
+module Sink = Qe_obs.Sink
+module Clock = Qe_obs.Clock
 
 type batch = {
   run : int -> unit;  (* stores its own result/error; never raises *)
-  len : int;
-  chunk : int;
-  cursor : int Atomic.t;
+  queues : int array array;  (* queues.(w): indices owned by participant w *)
+  pos : int Atomic.t array;  (* next unclaimed slot of queues.(w) *)
+  steals : int Atomic.t;  (* indices run by a non-owner *)
+  drained : int array;  (* ns timestamp at which participant w ran dry *)
   mutable active : int;  (* participants (workers + caller) still in *)
 }
 
@@ -26,18 +33,108 @@ type t = {
 
 let default_jobs () = max 1 (min (Domain.recommended_domain_count ()) 16)
 
-let chew b =
-  let continue_chewing = ref true in
-  while !continue_chewing do
-    let lo = Atomic.fetch_and_add b.cursor b.chunk in
-    if lo >= b.len then continue_chewing := false
-    else
-      for i = lo to min (lo + b.chunk) b.len - 1 do
-        b.run i
-      done
-  done
+(* ---------- process-wide scheduler totals ----------
 
-let rec worker_loop t ~seen =
+   Campaign entry points run on transient pools, so per-pool counters
+   would be gone before a bench could read them. These accumulate across
+   every pool of the process (like [Artifact_cache.stats]); the same
+   numbers are also added to the ambient sink as [pool.*] counters at
+   the end of each batch, on the caller's domain. *)
+
+let g_tasks = Atomic.make 0
+let g_batches = Atomic.make 0
+let g_steals = Atomic.make 0
+let g_idle_ns = Atomic.make 0
+
+type totals = { tasks : int; batches : int; steals : int; idle_ns : int }
+
+let totals () =
+  {
+    tasks = Atomic.get g_tasks;
+    batches = Atomic.get g_batches;
+    steals = Atomic.get g_steals;
+    idle_ns = Atomic.get g_idle_ns;
+  }
+
+let reset_totals () =
+  Atomic.set g_tasks 0;
+  Atomic.set g_batches 0;
+  Atomic.set g_steals 0;
+  Atomic.set g_idle_ns 0
+
+(* ---------- size-aware assignment ----------
+
+   Largest-processing-time-first: indices sorted by decreasing weight
+   (ties by index) are dealt one at a time to the least-loaded queue
+   (ties to the lowest id). With uniform weights this degrades to a
+   round-robin deal; with honest weights one torus6x6 lands alone in a
+   queue instead of serializing a chunk of small instances behind it.
+   The deal is a pure function of (len, weights, jobs) — scheduling
+   stays irrelevant to the results either way, this only shrinks the
+   idle tail stealing has to mop up. *)
+
+let assign ~jobs ~weights len =
+  let order = Array.init len Fun.id in
+  Array.sort
+    (fun a b ->
+      if weights.(a) <> weights.(b) then compare weights.(b) weights.(a)
+      else compare a b)
+    order;
+  let load = Array.make jobs 0 in
+  let rev_queues = Array.make jobs [] in
+  Array.iter
+    (fun i ->
+      let w = ref 0 in
+      for k = 1 to jobs - 1 do
+        if load.(k) < load.(!w) then w := k
+      done;
+      rev_queues.(!w) <- i :: rev_queues.(!w);
+      load.(!w) <- load.(!w) + weights.(i))
+    order;
+  Array.map (fun l -> Array.of_list (List.rev l)) rev_queues
+
+(* ---------- claiming and stealing ----------
+
+   Each queue has its own atomic cursor: the owner claims off it
+   uncontended; thieves hit it only once the owner's work is the only
+   work left. A queue never refills, so one sweep over every victim
+   (draining each to empty before moving on) proves there is nothing
+   left to run — an idle participant costs one failed fetch_and_add per
+   queue, it never spins. *)
+
+let chew b ~self =
+  let take w =
+    let q = b.queues.(w) in
+    let i = Atomic.fetch_and_add b.pos.(w) 1 in
+    if i < Array.length q then Some q.(i) else None
+  in
+  let rec drain_own () =
+    match take self with
+    | Some i ->
+        b.run i;
+        drain_own ()
+    | None -> ()
+  in
+  drain_own ();
+  let parts = Array.length b.queues in
+  let stolen = ref 0 in
+  for off = 1 to parts - 1 do
+    let v = (self + off) mod parts in
+    let draining = ref true in
+    while !draining do
+      match take v with
+      | Some i ->
+          incr stolen;
+          b.run i
+      | None -> draining := false
+    done
+  done;
+  if !stolen > 0 then ignore (Atomic.fetch_and_add b.steals !stolen);
+  (* written before the active-count decrement under the pool mutex, so
+     the caller's post-batch read is properly synchronized *)
+  b.drained.(self) <- Clock.now_ns ()
+
+let rec worker_loop t ~self ~seen =
   Mutex.lock t.m;
   while (not t.stop) && t.epoch = seen do
     Condition.wait t.have_work t.m
@@ -47,12 +144,12 @@ let rec worker_loop t ~seen =
     let epoch = t.epoch in
     let b = Option.get t.batch in
     Mutex.unlock t.m;
-    chew b;
+    chew b ~self;
     Mutex.lock t.m;
     b.active <- b.active - 1;
     if b.active = 0 then Condition.broadcast t.batch_done;
     Mutex.unlock t.m;
-    worker_loop t ~seen:epoch
+    worker_loop t ~self ~seen:epoch
   end
 
 let create ?jobs () =
@@ -74,15 +171,16 @@ let create ?jobs () =
     }
   in
   t.workers <-
-    List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t ~seen:0));
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop t ~self:(i + 1) ~seen:0));
   t
 
 let jobs t = t.jobs
 
-let map t ~f arr =
+let map t ?weight ~f arr =
   let len = Array.length arr in
   if len = 0 then [||]
-  else if t.jobs = 1 then Array.mapi f arr
+  else if t.jobs = 1 || len = 1 then Array.mapi f arr
   else begin
     let results = Array.make len None in
     let errors = Array.make len None in
@@ -91,10 +189,21 @@ let map t ~f arr =
       | v -> results.(i) <- Some v
       | exception e -> errors.(i) <- Some e
     in
-    (* small chunks for dynamic balance; the cursor bump is the only
-       cross-domain traffic per chunk *)
-    let chunk = max 1 (len / (t.jobs * 8)) in
-    let b = { run; len; chunk; cursor = Atomic.make 0; active = t.jobs } in
+    let weights =
+      match weight with
+      | None -> Array.make len 1
+      | Some w -> Array.init len (fun i -> max 1 (w i arr.(i)))
+    in
+    let b =
+      {
+        run;
+        queues = assign ~jobs:t.jobs ~weights len;
+        pos = Array.init t.jobs (fun _ -> Atomic.make 0);
+        steals = Atomic.make 0;
+        drained = Array.make t.jobs 0;
+        active = t.jobs;
+      }
+    in
     Mutex.lock t.m;
     if t.stop then begin
       Mutex.unlock t.m;
@@ -109,7 +218,7 @@ let map t ~f arr =
     Condition.broadcast t.have_work;
     Mutex.unlock t.m;
     (* the caller is a worker too *)
-    chew b;
+    chew b ~self:0;
     Mutex.lock t.m;
     b.active <- b.active - 1;
     while b.active > 0 do
@@ -117,8 +226,27 @@ let map t ~f arr =
     done;
     t.batch <- None;
     Mutex.unlock t.m;
-    (* every worker's stores happen-before the final cursor/mutex
+    (* every worker's stores happen-before the final mutex
        synchronization above, so plain array reads are safe here *)
+    let t_end = Clock.now_ns () in
+    let idle =
+      (* per-participant gap between running dry and the batch barrier:
+         the imbalance stealing could not hide *)
+      Array.fold_left (fun acc d -> acc + max 0 (t_end - d)) 0 b.drained
+    in
+    let steals = Atomic.get b.steals in
+    ignore (Atomic.fetch_and_add g_tasks len);
+    ignore (Atomic.fetch_and_add g_batches 1);
+    ignore (Atomic.fetch_and_add g_steals steals);
+    ignore (Atomic.fetch_and_add g_idle_ns idle);
+    (match Sink.ambient () with
+    | None -> ()
+    | Some s ->
+        let m = s.Sink.metrics in
+        Metrics.add (Metrics.counter m "pool.tasks") len;
+        Metrics.incr (Metrics.counter m "pool.batches");
+        Metrics.add (Metrics.counter m "pool.steal") steals;
+        Metrics.add (Metrics.counter m "pool.idle_ns") idle);
     Array.iter (function Some e -> raise e | None -> ()) errors;
     Array.map Option.get results
   end
@@ -138,6 +266,9 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let run ?(jobs = 1) ~f arr =
-  if jobs <= 1 then Array.mapi f arr
-  else with_pool ~jobs (fun t -> map t ~f arr)
+let run ?(jobs = 1) ?weight ~f arr =
+  let len = Array.length arr in
+  if jobs <= 1 || len <= 1 then Array.mapi f arr
+  else
+    (* never spawn more domains than there are items to run *)
+    with_pool ~jobs:(min jobs len) (fun t -> map t ?weight ~f arr)

@@ -1,4 +1,4 @@
-(** A fixed-size domain pool with a chunked work queue.
+(** A fixed-size domain pool with size-aware work stealing.
 
     The pool exists for one job shape: embarrassingly parallel sweeps
     whose results must be {e bit-identical} to the sequential run. The
@@ -6,7 +6,7 @@
 
     - {b index-addressed results.} {!map} writes the result of item [i]
       into slot [i] of the output array, whatever domain computed it and
-      in whatever order chunks were claimed. Output order is the input
+      in whatever order items were claimed. Output order is the input
       order, always.
     - {b no hidden task state.} The pool hands a task nothing but its
       index and item. Per-task isolation (a private [Random.State]
@@ -20,15 +20,27 @@
       such as [Engine.Timeout] are ordinary results, not exceptions —
       a watchdog firing in one domain never disturbs the others.
 
-    Work is claimed in chunks off a single atomic cursor, so load
-    balances dynamically across domains while scheduling stays
-    irrelevant to the result. *)
+    {b Scheduling.} Each participant (the [jobs - 1] spawned domains
+    plus the caller) owns a queue of indices assigned up front by
+    weighted LPT (largest weight first to the least-loaded queue; a
+    round-robin deal when no [weight] is given). A participant drains
+    its own queue off a private atomic cursor, then {e steals} from the
+    others until every queue is empty. The assignment is a pure function
+    of [(length, weights, jobs)] and results are index-addressed, so
+    scheduling stays irrelevant to everything the caller observes.
+
+    {b Telemetry.} Each batch adds [pool.tasks], [pool.batches],
+    [pool.steal] (indices run by a non-owner) and [pool.idle_ns]
+    (summed per-participant gap between running dry and the batch
+    barrier) to the caller's ambient {!Qe_obs.Sink}, and to the
+    process-wide {!totals}. *)
 
 type t
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] capped at 16 — the pool is for
-    instance-level parallelism, not for oversubscribing the machine. *)
+    instance-level parallelism, not for oversubscribing the machine.
+    This is also what [-j 0] resolves to throughout the CLI. *)
 
 val create : ?jobs:int -> unit -> t
 (** A pool of [jobs] workers (default {!default_jobs}; clamped to
@@ -38,13 +50,21 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
-val map : t -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+val map : t -> ?weight:(int -> 'a -> int) -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
 (** [map t ~f arr] computes [|f 0 arr.(0); f 1 arr.(1); ...|], farming
     items out to the pool's domains. Returns when every item has run.
     If tasks raised, re-raises the exception of the smallest failing
     index after the whole batch has finished. Not reentrant: one batch
     at a time per pool (nested or concurrent [map] on the same pool is
-    a programming error and raises [Invalid_argument]). *)
+    a programming error and raises [Invalid_argument]).
+
+    [weight i x] is a relative cost estimate for item [i] (clamped to
+    [>= 1]; e.g. nodes + edges of the instance's graph). It shapes the
+    initial queue assignment only — correctness and determinism never
+    depend on it, and stealing mops up whatever it mispredicts.
+
+    Empty input returns [[||]] immediately; a single item (or a 1-job
+    pool) runs in the caller's domain without touching the pool. *)
 
 val shutdown : t -> unit
 (** Join the worker domains. Idempotent; the pool is unusable after. *)
@@ -52,7 +72,25 @@ val shutdown : t -> unit
 val with_pool : ?jobs:int -> (t -> 'a) -> 'a
 (** [create], run, and [shutdown] (also on exception). *)
 
-val run : ?jobs:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+val run : ?jobs:int -> ?weight:(int -> 'a -> int) -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
 (** One-shot convenience: [jobs:1] (the default) runs the sequential
     loop with no pool and no domains at all; otherwise a transient pool
-    is created for the call and shut down after. *)
+    of [min jobs (Array.length arr)] workers is created for the call
+    and shut down after — so short inputs never spawn idle domains, and
+    an empty input spawns nothing. *)
+
+(** {1 Process-wide scheduler totals}
+
+    Like {!Qelect_symmetry.Artifact_cache.stats}: accumulated across
+    every pool of the process (the [pool.*] sink counters only exist
+    when an ambient sink is installed; these are always tallied). *)
+
+type totals = {
+  tasks : int;  (** items run through {!map} (parallel batches only) *)
+  batches : int;  (** {!map} calls that engaged the pool *)
+  steals : int;  (** items run by a participant that didn't own them *)
+  idle_ns : int;  (** summed drained-to-barrier gap over participants *)
+}
+
+val totals : unit -> totals
+val reset_totals : unit -> unit

@@ -32,6 +32,11 @@ let strip_cache snap =
 
 let num_shards = 32 (* power of two: shard = hash land (num_shards - 1) *)
 
+(* Bumped by [clear]; every per-domain L1 checks it on entry and flushes
+   lazily on mismatch, so [clear] never has to reach into other domains'
+   local state. *)
+let generation = Atomic.make 0
+
 type 'a entry =
   | Ready of ('a, exn) result * Metrics.snapshot
       (** value (or deterministic failure) + the kernel-metric delta its
@@ -46,17 +51,32 @@ and flight = {
 
 type 'a shard = { m : Mutex.t; tbl : (string, 'a entry) Hashtbl.t }
 
+(* Domain-local first level: a plain hashtable of settled entries, no
+   mutex anywhere on its path. Populated from L2 hits and own computes;
+   never holds an In_flight. [l1_hits] is this domain's private cell,
+   registered in the owning table so stats can pool across domains
+   without putting a shared counter on the hot path. *)
+type 'a l1 = {
+  mutable l1_gen : int;
+  l1_tbl : (string, ('a, exn) result * Metrics.snapshot) Hashtbl.t;
+  l1_hits : int Atomic.t;
+}
+
 type 'a table = {
   kind : string;
   shards : 'a shard array;
-  hits : int Atomic.t;
+  hits : int Atomic.t;  (* L2 hits only; stats add the pooled L1 cells *)
   misses : int Atomic.t;
   waits : int Atomic.t;
+  l1_key : 'a l1 Domain.DLS.key;
+  l1_cells : int Atomic.t list ref;  (* one per domain that touched us *)
+  l1_cells_m : Mutex.t;
 }
 
 type stat = {
   kind : string;
   hits : int;
+  l1_hits : int;
   misses : int;
   single_flight_waits : int;
 }
@@ -75,6 +95,20 @@ let registry : reg_entry list ref = ref []
 let registry_m = Mutex.create ()
 
 let create_table ~kind () =
+  let l1_cells = ref [] in
+  let l1_cells_m = Mutex.create () in
+  let l1_key =
+    (* runs on a domain's first lookup in this table: fresh local
+       hashtable, hit cell registered for pooled stats (cells of dead
+       domains stay registered — their hits remain part of the
+       process-global story, like every other cache counter) *)
+    Domain.DLS.new_key (fun () ->
+        let cell = Atomic.make 0 in
+        Mutex.lock l1_cells_m;
+        l1_cells := cell :: !l1_cells;
+        Mutex.unlock l1_cells_m;
+        { l1_gen = -1; l1_tbl = Hashtbl.create 64; l1_hits = cell })
+  in
   let t =
     {
       kind;
@@ -84,6 +118,9 @@ let create_table ~kind () =
       hits = Atomic.make 0;
       misses = Atomic.make 0;
       waits = Atomic.make 0;
+      l1_key;
+      l1_cells;
+      l1_cells_m;
     }
   in
   let clear_t () =
@@ -98,10 +135,18 @@ let create_table ~kind () =
         Mutex.unlock s.m)
       t.shards
   in
+  let pooled_l1 () =
+    Mutex.lock t.l1_cells_m;
+    let cells = !(t.l1_cells) in
+    Mutex.unlock t.l1_cells_m;
+    List.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+  in
   let stat_t () =
+    let l1 = pooled_l1 () in
     {
       kind = t.kind;
-      hits = Atomic.get t.hits;
+      hits = Atomic.get t.hits + l1;
+      l1_hits = l1;
       misses = Atomic.get t.misses;
       single_flight_waits = Atomic.get t.waits;
     }
@@ -109,7 +154,11 @@ let create_table ~kind () =
   let reset_t () =
     Atomic.set t.hits 0;
     Atomic.set t.misses 0;
-    Atomic.set t.waits 0
+    Atomic.set t.waits 0;
+    Mutex.lock t.l1_cells_m;
+    let cells = !(t.l1_cells) in
+    Mutex.unlock t.l1_cells_m;
+    List.iter (fun c -> Atomic.set c 0) cells
   in
   Mutex.lock registry_m;
   let dup = List.exists (fun e -> e.r_kind = kind) !registry in
@@ -129,7 +178,10 @@ let with_registry f =
   Mutex.unlock registry_m;
   f entries
 
-let clear () = with_registry (List.iter (fun e -> e.r_clear ()))
+let clear () =
+  with_registry (List.iter (fun e -> e.r_clear ()));
+  (* per-domain L1s flush themselves on the next lookup *)
+  Atomic.incr generation
 let reset_stats () = with_registry (List.iter (fun e -> e.r_reset ()))
 
 let stats () =
@@ -153,52 +205,75 @@ let publish shard key fl res delta =
 let memo t ~key compute =
   if not (enabled ()) then compute ()
   else begin
-    let shard = t.shards.(Hashtbl.hash key land (num_shards - 1)) in
-    let rec lookup () =
-      Mutex.lock shard.m;
-      match Hashtbl.find_opt shard.tbl key with
-      | Some (Ready (res, delta)) ->
-          Mutex.unlock shard.m;
-          Atomic.incr t.hits;
-          bump ("cache.hit." ^ t.kind);
-          replay delta;
-          (match res with Ok v -> v | Error e -> raise e)
-      | Some (In_flight fl) ->
-          Mutex.unlock shard.m;
-          Atomic.incr t.waits;
-          bump "cache.single_flight_wait";
-          Mutex.lock fl.fl_m;
-          while not fl.fl_done do
-            Condition.wait fl.fl_cv fl.fl_m
-          done;
-          Mutex.unlock fl.fl_m;
-          lookup ()
-      | None ->
-          let fl =
-            { fl_m = Mutex.create (); fl_cv = Condition.create ();
-              fl_done = false }
-          in
-          Hashtbl.replace shard.tbl key (In_flight fl);
-          Mutex.unlock shard.m;
-          Atomic.incr t.misses;
-          bump ("cache.miss." ^ t.kind);
-          (* compute under a scratch sink so the kernel delta can be
-             stored and replayed on every future hit — metric placement
-             is then identical to the uncached computation *)
-          let scratch = Sink.create () in
-          let res =
-            match Sink.with_ambient scratch compute with
-            | v -> Ok v
-            | exception e -> Error e
-          in
-          let delta =
-            strip_cache (Metrics.snapshot scratch.Sink.metrics)
-          in
-          publish shard key fl res delta;
-          replay delta;
-          (match res with Ok v -> v | Error e -> raise e)
-    in
-    lookup ()
+    (* L1: this domain's private table — no lock, no shared write on a
+       hit beyond the domain's own stat cell. The warm path of a sweep
+       lives entirely here. *)
+    let l1 = Domain.DLS.get t.l1_key in
+    let gen = Atomic.get generation in
+    if l1.l1_gen <> gen then begin
+      Hashtbl.reset l1.l1_tbl;
+      l1.l1_gen <- gen
+    end;
+    match Hashtbl.find_opt l1.l1_tbl key with
+    | Some (res, delta) ->
+        Atomic.incr l1.l1_hits;
+        bump ("cache.hit." ^ t.kind);
+        bump ("cache.l1.hit." ^ t.kind);
+        replay delta;
+        (match res with Ok v -> v | Error e -> raise e)
+    | None ->
+        (* L2: shared shards, single-flight on a genuine cold miss. Any
+           settled entry found here is copied into the L1 so this domain
+           never takes the shard lock for this key again. *)
+        let shard = t.shards.(Hashtbl.hash key land (num_shards - 1)) in
+        let rec lookup () =
+          Mutex.lock shard.m;
+          match Hashtbl.find_opt shard.tbl key with
+          | Some (Ready (res, delta)) ->
+              Mutex.unlock shard.m;
+              Hashtbl.replace l1.l1_tbl key (res, delta);
+              Atomic.incr t.hits;
+              bump ("cache.hit." ^ t.kind);
+              replay delta;
+              (match res with Ok v -> v | Error e -> raise e)
+          | Some (In_flight fl) ->
+              Mutex.unlock shard.m;
+              Atomic.incr t.waits;
+              bump "cache.single_flight_wait";
+              Mutex.lock fl.fl_m;
+              while not fl.fl_done do
+                Condition.wait fl.fl_cv fl.fl_m
+              done;
+              Mutex.unlock fl.fl_m;
+              lookup ()
+          | None ->
+              let fl =
+                { fl_m = Mutex.create (); fl_cv = Condition.create ();
+                  fl_done = false }
+              in
+              Hashtbl.replace shard.tbl key (In_flight fl);
+              Mutex.unlock shard.m;
+              Atomic.incr t.misses;
+              bump ("cache.miss." ^ t.kind);
+              (* compute under a scratch sink so the kernel delta can be
+                 stored and replayed on every future hit — metric
+                 placement is then identical to the uncached
+                 computation *)
+              let scratch = Sink.create () in
+              let res =
+                match Sink.with_ambient scratch compute with
+                | v -> Ok v
+                | exception e -> Error e
+              in
+              let delta =
+                strip_cache (Metrics.snapshot scratch.Sink.metrics)
+              in
+              publish shard key fl res delta;
+              Hashtbl.replace l1.l1_tbl key (res, delta);
+              replay delta;
+              (match res with Ok v -> v | Error e -> raise e)
+        in
+        lookup ()
   end
 
 (* ---------- keys and cached artifacts ---------- *)

@@ -5,11 +5,20 @@
     {!Classes.compute}, the oracle verdicts, the ELECT plan — per
     (instance, strategy, seed), even though all of them are pure
     functions of the bicolored instance. This module is a process-wide,
-    domain-safe cache for those artifacts: a fixed array of shards, each
-    a [Mutex]-protected [Hashtbl], with {e single-flight} admission so
-    two domains asking for the same key never duplicate an in-flight
-    computation (the second blocks on a condition variable until the
-    first publishes).
+    domain-safe, {e two-level} cache for those artifacts:
+
+    - {b L1} — a per-domain, lock-free hashtable in domain-local
+      storage, consulted first. A warm lookup touches no mutex and no
+      shared cacheline (beyond reading the invalidation generation and
+      bumping the domain's private stat cell). Populated from L2 hits
+      and own computes; invalidated lazily via a global generation
+      bumped by {!clear}.
+    - {b L2} — a fixed array of shards, each a [Mutex]-protected
+      [Hashtbl], with {e single-flight} admission so two domains asking
+      for the same key never duplicate an in-flight computation (the
+      second blocks on a condition variable until the first publishes).
+      Entered only on an L1 miss; any settled entry found is copied
+      into the caller's L1 on the way out.
 
     {b Keys.} The primary key of every table is the {e exact} structural
     certificate of the instance ({!exact_key}: the
@@ -29,7 +38,8 @@
     caller's ambient sink via {!Qe_obs.Metrics.apply}. Cached and
     uncached sweeps therefore produce identical metric snapshots, modulo
     the cache's own [cache.hit.<kind>] / [cache.miss.<kind>] /
-    [cache.single_flight_wait] counters (stripped from stored deltas so
+    [cache.single_flight_wait] counters — L1 hits additionally count
+    under [cache.l1.hit.<kind>] — (stripped from stored deltas so
     replays never inject stale cache counters). Exceptions
     (e.g. {!Canon.Budget_exceeded}) are deterministic for a given key,
     so they are cached and re-raised like values. *)
@@ -46,7 +56,9 @@ val enabled : unit -> bool
 
 val clear : unit -> unit
 (** Drop every entry of every table (stats are kept; see
-    {!reset_stats}). Safe to call concurrently with lookups. *)
+    {!reset_stats}). Per-domain L1s are invalidated lazily: the global
+    generation is bumped and each domain flushes its local table on its
+    next lookup. Safe to call concurrently with lookups. *)
 
 (** {1 Tables} *)
 
@@ -71,7 +83,12 @@ val memo : 'a table -> key:string -> (unit -> 'a) -> 'a
 
 type stat = {
   kind : string;
-  hits : int;  (** includes single-flight waiters *)
+  hits : int;
+      (** total over both levels (includes single-flight waiters);
+          [hits - l1_hits] is the shared-shard (L2) hit count *)
+  l1_hits : int;
+      (** subset of [hits] served lock-free from a per-domain L1,
+          pooled across every domain that ever touched the table *)
   misses : int;
   single_flight_waits : int;
 }

@@ -86,6 +86,8 @@ let test_memo_basics () =
   let s = stat_of "test.basic" in
   Alcotest.(check int) "misses" 2 s.Cache.misses;
   Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "the repeat hit came from this domain's L1" 1
+    s.Cache.l1_hits;
   Cache.clear ();
   Alcotest.(check int) "clear drops entries" 1 (get "a");
   Alcotest.(check int) "recompute after clear" 3 !computes;
@@ -166,7 +168,50 @@ let test_single_flight_hammer () =
   Alcotest.(check bool)
     "waits within [0, 7]" true
     (s.Cache.single_flight_waits >= 0
-    && s.Cache.single_flight_waits <= domains - 1)
+    && s.Cache.single_flight_waits <= domains - 1);
+  Alcotest.(check int) "first-contact hits are all L2" 0 s.Cache.l1_hits
+
+(* ---------- L1 coherence across domains ---------- *)
+
+let l1_tbl : int Cache.table = Cache.create_table ~kind:"test.l1" ()
+
+let test_l1_coherence () =
+  (* a value computed by one domain must be observed — never recomputed —
+     by another, and each domain's repeat lookups must stay in its own
+     L1. Every count below is deterministic:
+       caller: compute (miss)            -> misses = 1
+       worker: lookup 1 = L2 hit -> L1
+               lookups 2,3 = L1 hits     -> hits += 3, l1 += 2
+       caller: lookup    = L1 hit        -> hits += 1, l1 += 1 *)
+  with_cache_enabled true @@ fun () ->
+  Cache.clear ();
+  Cache.reset_stats ();
+  let computes = Atomic.make 0 in
+  let get () =
+    Cache.memo l1_tbl ~key:"shared" (fun () ->
+        Atomic.incr computes;
+        1729)
+  in
+  Alcotest.(check int) "caller computes" 1729 (get ());
+  let worker = Domain.spawn (fun () -> (get (), get (), get ())) in
+  let a, b, c = Domain.join worker in
+  Alcotest.(check (list int))
+    "other domain observes the published value"
+    [ 1729; 1729; 1729 ] [ a; b; c ];
+  Alcotest.(check int) "caller L1 still warm" 1729 (get ());
+  Alcotest.(check int) "the thunk ran exactly once" 1 (Atomic.get computes);
+  let s = stat_of "test.l1" in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "four hits" 4 s.Cache.hits;
+  Alcotest.(check int) "three from L1s (pooled across domains)" 3
+    s.Cache.l1_hits;
+  Alcotest.(check int) "exactly one shard (L2) lookup" 1
+    (s.Cache.hits - s.Cache.l1_hits);
+  (* clear invalidates every L1 lazily via the global generation *)
+  Cache.clear ();
+  Alcotest.(check int) "recompute after clear" 1729 (get ());
+  Alcotest.(check int) "clear reached the caller's L1" 2
+    (Atomic.get computes)
 
 (* ---------- differential: cached vs --no-cache sweeps ---------- *)
 
@@ -324,6 +369,8 @@ let () =
           Alcotest.test_case "exception caching" `Quick test_exception_caching;
           Alcotest.test_case "single-flight hammer (8 domains)" `Quick
             test_single_flight_hammer;
+          Alcotest.test_case "L1 coherence across domains" `Quick
+            test_l1_coherence;
         ] );
       ( "differential",
         [

@@ -102,6 +102,88 @@ let test_pool_clamp_and_run () =
   Alcotest.(check int) "run on empty" 0
     (Array.length (Pool.run ~jobs:4 ~f:(fun i _ -> i) [||]))
 
+(* ---------- scheduler: weights, stealing, edge cases ---------- *)
+
+let test_pool_weighted_map () =
+  (* weights are advisory: whatever cost estimate the caller supplies
+     (including adversarially wrong ones), the output is slot-addressed
+     and identical to Array.mapi *)
+  let input = Array.init 64 Fun.id in
+  let expect = Array.mapi (fun i x -> i * x) input in
+  List.iter
+    (fun weight ->
+      Alcotest.(check (array int))
+        "weighted map = Array.mapi" expect
+        (Pool.run ~jobs:4 ~weight ~f:(fun i x -> i * x) input))
+    [
+      (fun _ x -> x) (* ascending *);
+      (fun _ x -> 64 - x) (* descending *);
+      (fun i _ -> if i = 7 then 1_000_000 else 1) (* one huge *);
+      (fun _ _ -> 0) (* degenerate: clamped to 1 *);
+    ]
+
+let test_pool_steal () =
+  (* a skewed batch: one item sleeps while the rest are free. With equal
+     weights the deal is round-robin, so the sleeper's queue still holds
+     free items — the other participant must drain its own queue and
+     then steal them. Works even on 1 physical core: a sleeping domain
+     yields the CPU. *)
+  let before = Pool.totals () in
+  let sink = Qe_obs.Sink.create () in
+  let out =
+    Qe_obs.Sink.with_ambient sink (fun () ->
+        Pool.run ~jobs:2
+          ~f:(fun i () ->
+            if i = 0 then Unix.sleepf 0.05;
+            i)
+          (Array.make 16 ()))
+  in
+  let after = Pool.totals () in
+  Alcotest.(check (array int))
+    "results in slot order"
+    (Array.init 16 Fun.id)
+    out;
+  Alcotest.(check bool) "totals count steals" true
+    (after.Pool.steals - before.Pool.steals >= 1);
+  let counter name =
+    match
+      Qe_obs.Metrics.find
+        (Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics)
+        name
+    with
+    | Some (Qe_obs.Metrics.Counter n) -> n
+    | _ -> 0
+  in
+  Alcotest.(check int) "pool.tasks counter" 16 (counter "pool.tasks");
+  Alcotest.(check int) "pool.batches counter" 1 (counter "pool.batches");
+  Alcotest.(check bool) "pool.steal counter" true (counter "pool.steal" >= 1);
+  Alcotest.(check bool) "pool.idle_ns counter" true
+    (counter "pool.idle_ns" >= 0)
+
+let test_pool_edge_cases () =
+  (* empty input: no pool, no batch, no domains *)
+  let before = Pool.totals () in
+  Alcotest.(check int) "empty run" 0
+    (Array.length (Pool.run ~jobs:8 ~f:(fun i _ -> i) ([||] : unit array)));
+  let after = Pool.totals () in
+  Alcotest.(check int) "empty run engages no batch" before.Pool.batches
+    after.Pool.batches;
+  (* len < jobs: run clamps the transient pool to len, so no spawned
+     domain ever spins on an empty queue set *)
+  Alcotest.(check (array int))
+    "3 items at jobs:8"
+    [| 0; 10; 20 |]
+    (Pool.run ~jobs:8 ~f:(fun i _ -> i * 10) (Array.make 3 ()));
+  (* single item: runs inline in the caller, even on a wide pool *)
+  Pool.with_pool ~jobs:4 (fun t ->
+      let before = Pool.totals () in
+      Alcotest.(check (array int))
+        "1 item inline" [| 7 |]
+        (Pool.map t ~f:(fun _ x -> x + 1) [| 6 |]);
+      let after = Pool.totals () in
+      Alcotest.(check int) "no batch for a single item" before.Pool.batches
+        after.Pool.batches)
+
 (* ---------- differential determinism: sweep ---------- *)
 
 let small_zoo () =
@@ -139,11 +221,41 @@ let sweep_at ~seeds jobs =
   |> List.map norm
 
 let prop_sweep_jobs_invariant =
-  QCheck.Test.make ~name:"sweep is bit-identical at -j 1/2/4" ~count:4
-    QCheck.(pair (int_bound 1_000) (oneofl [ 2; 4 ]))
+  QCheck.Test.make ~name:"sweep is bit-identical at -j 1/2/4/8" ~count:6
+    QCheck.(pair (int_bound 1_000) (oneofl [ 2; 4; 8 ]))
     (fun (seed, jobs) ->
       let seeds = [ seed; seed + 1 ] in
       sweep_at ~seeds 1 = sweep_at ~seeds jobs)
+
+(* The hammer of the scaling PR: records AND observed snapshots across
+   j1/j2/j8 in one go, on the stealing scheduler with honest instance
+   weights (small_zoo sizes differ, so the LPT deal is non-uniform). *)
+let test_determinism_hammer () =
+  let go jobs =
+    let records, obs =
+      Campaign.observed_sweep ~seeds:[ 0; 1; 2 ] ~strategies:two_strategies
+        ~jobs ~expected:Campaign.elect_expected elect (small_zoo ())
+    in
+    let strip snap =
+      List.filter
+        (fun (name, _) ->
+          not
+            (String.starts_with ~prefix:"cache." name
+            || String.starts_with ~prefix:"pool." name))
+        snap
+    in
+    ( List.map norm records,
+      List.map (fun (k, s) -> (k, strip s)) obs.Campaign.per_instance,
+      strip obs.Campaign.total )
+  in
+  let r1 = go 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "j%d = j1 (records + snapshots)" jobs)
+        true
+        (go jobs = r1))
+    [ 2; 8 ]
 
 let test_observed_sweep_jobs_invariant () =
   let go jobs =
@@ -365,10 +477,17 @@ let () =
           Alcotest.test_case "not reentrant" `Quick test_pool_not_reentrant;
           Alcotest.test_case "shutdown" `Quick test_pool_shutdown;
           Alcotest.test_case "clamp + run" `Quick test_pool_clamp_and_run;
+          Alcotest.test_case "weighted map" `Quick test_pool_weighted_map;
+          Alcotest.test_case "work stealing (skewed batch)" `Quick
+            test_pool_steal;
+          Alcotest.test_case "edge cases (empty, len < jobs)" `Quick
+            test_pool_edge_cases;
         ] );
       ( "determinism",
         [
           QCheck_alcotest.to_alcotest prop_sweep_jobs_invariant;
+          Alcotest.test_case "hammer j1/j2/j8 (records + snapshots)" `Quick
+            test_determinism_hammer;
           Alcotest.test_case "observed_sweep" `Quick
             test_observed_sweep_jobs_invariant;
           Alcotest.test_case "chaos_sweep (fault plans)" `Quick
