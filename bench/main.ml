@@ -856,7 +856,7 @@ let sigma_explorer () =
 
 (* Bumped once per PR that changes the perf landscape; the emitted
    BENCH_<n>.json files at the repo root form the tracked trajectory. *)
-let bench_revision = 6
+let bench_revision = 7
 
 (* Sections deposit their numbers here and every write re-emits all of
    them, so `bench perf par-scaling cache` composes one complete
@@ -865,6 +865,7 @@ let recorded_times : (string * float) list ref = ref []
 let recorded_leaves : (string * int) list ref = ref []
 let recorded_scaling : (string * float) list ref = ref []
 let recorded_cache : (string * float) list ref = ref []
+let recorded_exposition : (string * float) list ref = ref []
 
 let write_bench_json path =
   let buf = Buffer.create 1024 in
@@ -895,6 +896,9 @@ let write_bench_json path =
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"cache\": {\n";
   obj "%S: %.3f" !recorded_cache;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"exposition\": {\n";
+  obj "%S: %.3f" !recorded_exposition;
   Buffer.add_string buf "  }\n}\n";
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
@@ -1464,6 +1468,221 @@ let cache_bench () =
     exit 1
   end
 
+(* ---------- exposition: render cost, quantile accuracy, live scrape ---------- *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  go 0
+
+let http_get port path =
+  let open Unix in
+  let sock = socket PF_INET SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try close sock with _ -> ())
+    (fun () ->
+      connect sock (ADDR_INET (inet_addr_loopback, port));
+      let req =
+        Printf.sprintf "GET %s HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n\r\n"
+          path
+      in
+      ignore (write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 4096 and chunk = Bytes.create 4096 in
+      let rec drain () =
+        let n = read sock chunk 0 4096 in
+        if n > 0 then begin
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        end
+      in
+      drain ();
+      Buffer.contents buf)
+
+let exposition () =
+  section "Exposition: OpenMetrics render, quantile accuracy, scrape under load";
+  print_endline
+    "the live observability plane, three ways: (1) render cost of a\n\
+     realistic snapshot through Openmetrics.render (the per-scrape\n\
+     price); (2) quantile estimation accuracy of the log-scale latency\n\
+     histograms against exact nearest-rank quantiles of the raw samples\n\
+     (the documented guarantee is one bucket ratio, 2x); (3) a live\n\
+     scrape-under-load smoke: GET /metrics every 10 ms while a -j 4\n\
+     sweep publishes through the same accumulator the CLI uses.\n";
+  let fails = ref [] in
+  (* 1. render cost over a real snapshot: observe a full pass over the
+     symmetric suite so engine, kernel and latency families are all
+     populated, then time the renderer alone *)
+  let sink = Qe_obs.Sink.create () in
+  Qe_obs.Sink.with_ambient sink (fun () ->
+      List.iter
+        (fun inst ->
+          ignore
+            (Campaign.run_one ~obs:sink
+               ~expected_elected:(Campaign.elect_expected inst)
+               inst Elect.protocol))
+        (sym_suite ()));
+  let snap = Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics in
+  let body = Qe_obs.Openmetrics.render snap in
+  let render_ns =
+    let reps = 200 in
+    let t0 = Qe_obs.Clock.now_ns () in
+    for _ = 1 to reps do
+      ignore (Sys.opaque_identity (Qe_obs.Openmetrics.render snap))
+    done;
+    float_of_int (Qe_obs.Clock.now_ns () - t0) /. float_of_int reps
+  in
+  Printf.printf
+    "render: %d metric families -> %d bytes in %.0f ns/scrape\n\n"
+    (List.length snap) (String.length body) render_ns;
+  recorded_exposition :=
+    [
+      ("render-ns", render_ns);
+      ("render-bytes", float_of_int (String.length body));
+      ("families", float_of_int (List.length snap));
+    ];
+  (* 2. quantile accuracy: latency-bucket histograms vs exact
+     nearest-rank quantiles on the raw samples. The mli promises one
+     bucket ratio worst case (2x) — gate exactly that. *)
+  let distributions =
+    let st = Random.State.make [| 0x5eed |] in
+    [
+      ("uniform", Array.init 4096 (fun _ -> 100 + Random.State.int st 999_900));
+      ( "lognormal-ish",
+        Array.init 4096 (fun _ ->
+            int_of_float (exp (6. +. (Random.State.float st 8.)))) );
+      ("constant", Array.make 4096 12_345);
+    ]
+  in
+  let qs = [ 0.5; 0.9; 0.99 ] in
+  let rows =
+    List.map
+      (fun (name, samples) ->
+        let reg = Qe_obs.Metrics.create () in
+        let h = Qe_obs.Metrics.latency reg "bench_latency" in
+        Array.iter (fun v -> Qe_obs.Metrics.observe h v) samples;
+        let s =
+          match
+            Qe_obs.Metrics.find (Qe_obs.Metrics.snapshot reg) "bench_latency"
+          with
+          | Some s -> s
+          | None -> assert false
+        in
+        let sorted = Array.copy samples in
+        Array.sort compare sorted;
+        let exact q =
+          let n = Array.length sorted in
+          let rank = max 1 (int_of_float (ceil (q *. float_of_int n))) in
+          float_of_int sorted.(rank - 1)
+        in
+        let worst = ref 1.0 in
+        let cells =
+          List.map
+            (fun q ->
+              match Qe_obs.Metrics.quantile s q with
+              | None -> "?"
+              | Some est ->
+                  let ex = exact q in
+                  let factor = if est > ex then est /. ex else ex /. est in
+                  worst := max !worst factor;
+                  Printf.sprintf "%.0f/%.0f (%.2fx)" est ex factor)
+            qs
+        in
+        recorded_exposition :=
+          !recorded_exposition @ [ ("quantile-error/" ^ name, !worst) ];
+        if !worst > 2.0 then
+          fails :=
+            Printf.sprintf "%s: quantile error %.2fx > 2x bucket guarantee"
+              name !worst
+            :: !fails;
+        name :: cells @ [ Printf.sprintf "%.2fx" !worst ])
+      distributions
+  in
+  print_table
+    [ "distribution"; "p50 est/exact"; "p90 est/exact"; "p99 est/exact";
+      "worst" ]
+    rows;
+  (* 3. scrape under load: the CLI's exact wiring — mutex-guarded
+     accumulator fed by ~live, plus the process-wide cache and pool
+     registries — scraped every 10 ms while a -j 4 sweep runs *)
+  let acc = ref [] and acc_m = Mutex.create () in
+  let push snap =
+    Mutex.lock acc_m;
+    (try acc := Qe_obs.Metrics.merge !acc snap with _ -> ());
+    Mutex.unlock acc_m
+  in
+  let srv =
+    Qe_obs.Expose.start ~port:0
+      ~sources:
+        [
+          (fun () ->
+            Mutex.lock acc_m;
+            let s = !acc in
+            Mutex.unlock acc_m;
+            s);
+          Qe_symmetry.Artifact_cache.metrics_snapshot;
+          Qe_par.Pool.metrics_snapshot;
+        ]
+      ()
+  in
+  let port = Qe_obs.Expose.port srv in
+  let finished = Atomic.make false in
+  let worker =
+    Domain.spawn (fun () ->
+        Fun.protect
+          ~finally:(fun () -> Atomic.set finished true)
+          (fun () ->
+            Campaign.sweep ~seeds:(List.init 4 Fun.id) ~jobs:4 ~live:push
+              ~expected:Campaign.elect_expected Elect.protocol (sym_suite ())))
+  in
+  let scrapes = ref 0 and bad = ref 0 in
+  while not (Atomic.get finished) do
+    (match try Some (http_get port "/metrics") with _ -> None with
+    | Some resp ->
+        incr scrapes;
+        let ok =
+          String.length resp > 15
+          && String.sub resp 0 15 = "HTTP/1.1 200 OK"
+          && contains resp "# EOF"
+        in
+        if not ok then incr bad
+    | None -> incr scrapes; incr bad);
+    Unix.sleepf 0.01
+  done;
+  let records = Domain.join worker in
+  let final = http_get port "/metrics" in
+  Qe_obs.Expose.stop srv;
+  List.iter
+    (fun family ->
+      if not (contains final family) then
+        fails :=
+          Printf.sprintf "final scrape is missing the %s family" family
+          :: !fails)
+    [ "cache_"; "pool_"; "_latency"; "# EOF" ];
+  if !bad > 0 then
+    fails :=
+      Printf.sprintf "%d of %d mid-sweep scrapes malformed" !bad !scrapes
+      :: !fails;
+  Printf.printf
+    "\nscrape under load: %d scrapes during a %d-record -j 4 sweep, %d \
+     malformed; final scrape %d bytes\n"
+    !scrapes (List.length records) !bad (String.length final);
+  recorded_exposition :=
+    !recorded_exposition
+    @ [
+        ("scrapes-under-load", float_of_int !scrapes);
+        ("scrapes-malformed", float_of_int !bad);
+        ("final-scrape-bytes", float_of_int (String.length final));
+      ];
+  let out = Printf.sprintf "BENCH_%d.json" bench_revision in
+  write_bench_json out;
+  Printf.printf "wrote %s\n" out;
+  if !fails <> [] then begin
+    List.iter (fun m -> Printf.printf "FAIL: %s\n" m) !fails;
+    exit 1
+  end
+
 (* ---------- driver ---------- *)
 
 let sections =
@@ -1486,6 +1705,7 @@ let sections =
     ("fault-overhead", fault_overhead);
     ("par-scaling", par_scaling);
     ("cache", cache_bench);
+    ("exposition", exposition);
   ]
 
 let () =

@@ -168,7 +168,9 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace
         Some
           (Qe_obs.Sink.create
              ?on_line:(Option.map (fun oc l -> Qe_obs.Export.write oc l) oc)
-             ())
+             (* traced runs also record the cache's L1/L2 hit instants,
+                which the Chrome exporter renders as markers *)
+             ~cache_events:(oc <> None) ())
       else None
     in
     let plan =
@@ -244,7 +246,36 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace
 
 (* ---------- report ---------- *)
 
-let report_cmd path strict =
+(* latency quantiles, pretty-printed from a histogram sample *)
+let pp_quantile s p =
+  match Qe_obs.Metrics.quantile s p with
+  | Some v -> Format.asprintf "%a" Qe_obs.Clock.pp_ns (int_of_float v)
+  | None -> "-"
+
+let print_latency_quantiles out snap =
+  let lat =
+    List.filter
+      (fun (name, s) ->
+        match s with
+        | Qe_obs.Metrics.Hist { count; _ } ->
+            Qe_obs.Metrics.is_latency name && count > 0
+        | _ -> false)
+      snap
+  in
+  if lat <> [] then begin
+    Printf.fprintf out "latency quantiles:\n";
+    List.iter
+      (fun (name, s) ->
+        match s with
+        | Qe_obs.Metrics.Hist { count; _ } ->
+            Printf.fprintf out "  %-32s p50=%-9s p90=%-9s p99=%-9s (n=%d)\n"
+              name (pp_quantile s 0.5) (pp_quantile s 0.9) (pp_quantile s 0.99)
+              count
+        | _ -> ())
+      lat
+  end
+
+let report_cmd path strict chrome =
   try
     let lines =
       if strict then
@@ -349,6 +380,7 @@ let report_cmd path strict =
     | Some snap ->
         print_endline "metrics:";
         print_string (Qe_obs.Metrics.render snap);
+        print_latency_quantiles stdout snap;
         let moves = counter_total snap "engine.moves" in
         let accesses =
           counter_total snap "engine.posts"
@@ -359,6 +391,14 @@ let report_cmd path strict =
         Printf.printf
           "moves: %d, whiteboard accesses: %d, scheduler turns: %d\n" moves
           accesses turns
+    | None -> ());
+    (match chrome with
+    | Some out ->
+        Qe_obs.Chrome.write_file out lines;
+        Printf.printf
+          "chrome trace written to %s (load it in ui.perfetto.dev or \
+           chrome://tracing)\n"
+          out
     | None -> ());
     `Ok ()
   with Failure msg -> `Error (false, msg)
@@ -455,7 +495,17 @@ let print_cache_stats out =
         "# cache: %-18s hits=%-7d (l1=%d l2=%d) misses=%-5d waits=%d\n"
         r.Cache.kind r.Cache.hits r.Cache.l1_hits
         (r.Cache.hits - r.Cache.l1_hits)
-        r.Cache.misses r.Cache.single_flight_waits)
+        r.Cache.misses r.Cache.single_flight_waits;
+      List.iter
+        (fun (level, s) ->
+          match s with
+          | Qe_obs.Metrics.Hist { count; _ } when count > 0 ->
+              Printf.fprintf out
+                "# cache: %-18s %s-hit latency p50=%-9s p90=%-9s p99=%-9s\n"
+                r.Cache.kind level (pp_quantile s 0.5) (pp_quantile s 0.9)
+                (pp_quantile s 0.99)
+          | _ -> ())
+        [ ("l1", r.Cache.l1_latency); ("l2", r.Cache.l2_latency) ])
     active;
   let hits = List.fold_left (fun a (r : Cache.stat) -> a + r.Cache.hits) 0 rows in
   let l1 = List.fold_left (fun a (r : Cache.stat) -> a + r.Cache.l1_hits) 0 rows in
@@ -467,7 +517,53 @@ let print_cache_stats out =
     (hits - l1) misses
     (100. *. Cache.hit_rate rows)
 
-let sweep_cmd protocol seeds jobs no_cache stats =
+(* ---------- live exposition (--metrics-port) ---------- *)
+
+(* Serve GET /metrics for the duration of [f]: completed-run snapshots
+   accumulate (pushed from pool domains via the campaign's [live] hook)
+   and every scrape merges the accumulator with the process-wide cache
+   and pool registries. Sink-level [cache.*] counters are dropped from
+   the accumulator — the cache registry is the authority for those and
+   merging both would double-count — except the sink-only
+   [cache.wait_latency] histogram. *)
+let with_metrics_server port f =
+  match port with
+  | None -> f None
+  | Some port ->
+      let m = Mutex.create () in
+      let acc = ref [] in
+      let push snap =
+        Mutex.lock m;
+        (try acc := Qe_obs.Metrics.merge !acc snap with _ -> ());
+        Mutex.unlock m
+      in
+      let campaign_source () =
+        Mutex.lock m;
+        let s = !acc in
+        Mutex.unlock m;
+        List.filter
+          (fun (n, _) ->
+            (not (String.starts_with ~prefix:"cache." n))
+            || Qe_obs.Metrics.is_latency n)
+          s
+      in
+      let srv =
+        Qe_obs.Expose.start ~port
+          ~sources:
+            [
+              campaign_source;
+              Cache.metrics_snapshot;
+              Qe_par.Pool.metrics_snapshot;
+            ]
+          ()
+      in
+      Printf.eprintf "# metrics: http://127.0.0.1:%d/metrics\n%!"
+        (Qe_obs.Expose.port srv);
+      Fun.protect
+        ~finally:(fun () -> Qe_obs.Expose.stop srv)
+        (fun () -> f (Some push))
+
+let sweep_cmd protocol seeds jobs no_cache stats metrics_port =
   try
     if no_cache then Cache.set_enabled false;
     Cache.reset_stats ();
@@ -487,20 +583,21 @@ let sweep_cmd protocol seeds jobs no_cache stats =
        which -j produced it *)
     Printf.eprintf "# jobs: %d (cores: %d)\n" jobs
       (Domain.recommended_domain_count ());
-    let records =
-      Campaign.sweep ~seeds ~jobs ~expected proto (Campaign.zoo ())
-    in
-    print_endline Campaign.csv_header;
-    List.iter (fun r -> print_endline (Campaign.csv_row r)) records;
-    let ok, total = Campaign.conformance_rate records in
-    Printf.eprintf "# conformance: %d/%d\n" ok total;
+    with_metrics_server metrics_port (fun live ->
+        let records =
+          Campaign.sweep ~seeds ~jobs ?live ~expected proto (Campaign.zoo ())
+        in
+        print_endline Campaign.csv_header;
+        List.iter (fun r -> print_endline (Campaign.csv_row r)) records;
+        let ok, total = Campaign.conformance_rate records in
+        Printf.eprintf "# conformance: %d/%d\n" ok total);
     if stats then print_cache_stats stderr;
     `Ok ()
   with Failure msg -> `Error (false, msg)
 
 (* ---------- chaos ---------- *)
 
-let chaos_cmd protocol seeds trace_out jobs no_cache stats =
+let chaos_cmd protocol seeds trace_out jobs no_cache stats metrics_port =
   try
     if no_cache then Cache.set_enabled false;
     Cache.reset_stats ();
@@ -528,8 +625,9 @@ let chaos_cmd protocol seeds trace_out jobs no_cache stats =
         oc
     in
     let report =
-      Campaign.chaos_sweep ~seeds ?obs ~jobs ~expected:Campaign.elect_expected
-        proto (Campaign.zoo ())
+      with_metrics_server metrics_port (fun live ->
+          Campaign.chaos_sweep ~seeds ?obs ~jobs ?live
+            ~expected:Campaign.elect_expected proto (Campaign.zoo ()))
     in
     Option.iter close_out oc;
     Printf.printf "runs: %d (%d with zero faults fired)\n"
@@ -639,7 +737,20 @@ let strict_arg =
           "Fail on a truncated or damaged trace instead of reporting the \
            valid prefix with a warning.")
 
-let report_term = Term.(ret (const report_cmd $ report_file_arg $ strict_arg))
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ]
+        ~doc:
+          "Also export the trace as Chrome trace-event JSON to $(docv) — \
+           load it in ui.perfetto.dev or chrome://tracing. Span trees \
+           become nested duration events, one lane per pool domain; cache \
+           hits recorded by traced runs become instant markers."
+        ~docv:"FILE")
+
+let report_term =
+  Term.(ret (const report_cmd $ report_file_arg $ strict_arg $ chrome_arg))
 
 let analyze_term =
   Term.(
@@ -691,11 +802,24 @@ let cache_stats_arg =
            single-flight waits) and the pooled hit-rate after the sweep. \
            Written to stderr for $(b,sweep) so the CSV stream stays clean.")
 
+let metrics_port_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "metrics-port" ]
+        ~doc:
+          "Serve live OpenMetrics on http://127.0.0.1:$(docv)/metrics for \
+           the duration of the campaign (0 = kernel-assigned; the bound \
+           port is printed to stderr). Scrapes merge completed-run \
+           snapshots with the process-wide cache and pool registries, \
+           including latency histograms with quantile summaries."
+        ~docv:"PORT")
+
 let sweep_term =
   Term.(
     ret
       (const sweep_cmd $ protocol_arg $ seeds_arg $ jobs_arg $ no_cache_arg
-     $ cache_stats_arg))
+     $ cache_stats_arg $ metrics_port_arg))
 
 let chaos_seeds_arg =
   Arg.(
@@ -713,7 +837,8 @@ let chaos_trace_out_arg =
 let chaos_term =
   Term.(
     ret (const chaos_cmd $ protocol_arg $ chaos_seeds_arg
-       $ chaos_trace_out_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg))
+       $ chaos_trace_out_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
+       $ metrics_port_arg))
 
 let run_exits =
   Cmd.Exit.info exit_deadlock ~doc:"The run ended in a deadlock."

@@ -261,7 +261,15 @@ let prewarm instances =
         ignore (Oracle.predict b))
       instances
 
-let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
+(* Wall-clock latency histograms ([*_latency]) are real time, so they
+   can never be part of the determinism contract: any snapshot that is
+   compared across runs or job counts ([obs_report], [c_metrics]) has
+   them stripped. They still flow to live scrape hooks, [qelect run]
+   sinks and trace metric lines, where wall time is the point. *)
+let strip_latency snap =
+  List.filter (fun (name, _) -> not (Qe_obs.Metrics.is_latency name)) snap
+
+let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1) ?live
     ~expected proto instances =
   let jobs = resolve_jobs jobs in
   prewarm instances;
@@ -279,7 +287,20 @@ let sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
   Qe_par.Pool.run ~jobs
     ~weight:(fun _ (inst, _, _, _) -> instance_weight inst)
     ~f:(fun _ (inst, strat, seed, expected_elected) ->
-      run_one ~strategy:strat ~seed ~expected_elected inst proto)
+      match live with
+      | None -> run_one ~strategy:strat ~seed ~expected_elected inst proto
+      | Some push ->
+          (* a live scrape wants engine *and* kernel/cache activity, so
+             give the run the full observed setup; the record itself is
+             unchanged by observation *)
+          let sink = Qe_obs.Sink.create () in
+          let r =
+            Qe_obs.Sink.with_ambient sink (fun () ->
+                run_one ~strategy:strat ~obs:sink ~seed ~expected_elected inst
+                  proto)
+          in
+          push (Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics);
+          r)
     tasks
   |> Array.to_list
 
@@ -289,7 +310,7 @@ type obs_report = {
 }
 
 let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
-    ~expected proto instances =
+    ?live ~expected proto instances =
   let jobs = resolve_jobs jobs in
   prewarm instances;
   (* parallel at instance granularity: one sink per instance is the
@@ -316,7 +337,9 @@ let observed_sweep ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
                     seeds)
                 strategies)
         in
-        (rs, (inst.name, Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics)))
+        let snap = Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics in
+        Option.iter (fun push -> push snap) live;
+        (rs, (inst.name, strip_latency snap)))
       (Array.of_list instances)
     |> Array.to_list
   in
@@ -495,8 +518,8 @@ let chaos_run ?obs ~strategy:(strategy_name, strategy) ~seed ~watchdog
   }
 
 let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
-    ?(watchdog = default_chaos_watchdog) ?obs ?(jobs = 1) ~expected proto
-    instances =
+    ?(watchdog = default_chaos_watchdog) ?obs ?(jobs = 1) ?live ~expected
+    proto instances =
   let jobs = resolve_jobs jobs in
   prewarm instances;
   let tasks =
@@ -535,15 +558,42 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
         Array.to_list tasks
         |> List.map
              (fun (seed, inst, expected_elected, strategy, plan_kind, plan) ->
-               chaos_run ?obs ~strategy ~seed ~watchdog ~plan_kind ~plan
-                 ~expected_elected inst proto)
+               match (live, obs) with
+               | None, _ ->
+                   chaos_run ?obs ~strategy ~seed ~watchdog ~plan_kind ~plan
+                     ~expected_elected inst proto
+               | Some push, Some s ->
+                   (* per-run interval reading of the shared sink *)
+                   let b =
+                     Qe_obs.Metrics.snapshot s.Qe_obs.Sink.metrics
+                   in
+                   let r =
+                     chaos_run ~obs:s ~strategy ~seed ~watchdog ~plan_kind
+                       ~plan ~expected_elected inst proto
+                   in
+                   push
+                     (Qe_obs.Metrics.diff
+                        ~after:
+                          (Qe_obs.Metrics.snapshot s.Qe_obs.Sink.metrics)
+                        ~before:b);
+                   r
+               | Some push, None ->
+                   let sink = Qe_obs.Sink.create () in
+                   let r =
+                     chaos_run ~obs:sink ~strategy ~seed ~watchdog ~plan_kind
+                       ~plan ~expected_elected inst proto
+                   in
+                   push
+                     (Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics);
+                   r)
       in
       let c_metrics =
         match (obs, before) with
         | Some s, Some before ->
-            Qe_obs.Metrics.diff
-              ~after:(Qe_obs.Metrics.snapshot s.Qe_obs.Sink.metrics)
-              ~before
+            strip_latency
+              (Qe_obs.Metrics.diff
+                 ~after:(Qe_obs.Metrics.snapshot s.Qe_obs.Sink.metrics)
+                 ~before)
         | _ -> []
       in
       (records, c_metrics)
@@ -562,18 +612,26 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
         | Some { Qe_obs.Sink.on_line = Some _; _ } -> true
         | _ -> false
       in
-      let results =
+      (* with a streaming parent, the batch's scheduler telemetry is
+         captured in a side sink installed around the pool run (its
+         [pool.batch] per-domain span lanes are appended to the trace
+         after the replayed task lines; its metrics are discarded — they
+         are wall-clock and would break jobs-invariance of [c_metrics]) *)
+      let pool_sink =
+        if streaming then Some (Qe_obs.Sink.create ()) else None
+      in
+      let run_tasks () =
         Qe_par.Pool.run ~jobs
           ~weight:(fun _ (_, inst, _, _, _, _) -> instance_weight inst)
           ~f:(fun _ (seed, inst, expected_elected, strategy, plan_kind, plan)
              ->
-            match obs with
-            | None ->
+            match (obs, live) with
+            | None, None ->
                 ( chaos_run ~strategy ~seed ~watchdog ~plan_kind ~plan
                     ~expected_elected inst proto,
                   [],
                   [] )
-            | Some _ ->
+            | _ ->
                 let lines = ref [] in
                 let on_line =
                   if streaming then Some (fun l -> lines := l :: !lines)
@@ -584,16 +642,27 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
                   chaos_run ~obs:sink ~strategy ~seed ~watchdog ~plan_kind
                     ~plan ~expected_elected inst proto
                 in
-                ( r,
-                  Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics,
-                  List.rev !lines ))
+                let snap =
+                  Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics
+                in
+                Option.iter (fun push -> push snap) live;
+                (r, snap, List.rev !lines))
           tasks
       in
-      let c_metrics =
-        Array.fold_left
-          (fun acc (_, s, _) -> Qe_obs.Metrics.merge acc s)
-          [] results
+      let results =
+        match pool_sink with
+        | Some ps -> Qe_obs.Sink.with_ambient ps run_tasks
+        | None -> run_tasks ()
       in
+      let merged =
+        match obs with
+        | None -> []
+        | Some _ ->
+            Array.fold_left
+              (fun acc (_, s, _) -> Qe_obs.Metrics.merge acc s)
+              [] results
+      in
+      let c_metrics = strip_latency merged in
       (match obs with
       | None -> ()
       | Some parent ->
@@ -605,8 +674,17 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
                   | l -> Qe_obs.Sink.emit parent l)
                 lines)
             results;
-          if c_metrics <> [] then
-            Qe_obs.Sink.emit parent (Qe_obs.Export.Metric_snapshot c_metrics));
+          (match pool_sink with
+          | Some ps ->
+              List.iter
+                (fun root ->
+                  Qe_obs.Sink.emit parent (Qe_obs.Export.Span_tree root))
+                (Qe_obs.Span.roots ps.Qe_obs.Sink.spans)
+          | None -> ());
+          (* the trace keeps the unstripped merge: latency quantiles are
+             useful in `qelect report`, and traces are wall-clock anyway *)
+          if merged <> [] then
+            Qe_obs.Sink.emit parent (Qe_obs.Export.Metric_snapshot merged));
       (Array.to_list results |> List.map (fun (r, _, _) -> r), c_metrics)
     end
   in

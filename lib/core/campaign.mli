@@ -67,11 +67,21 @@ val sweep :
   ?seeds:int list ->
   ?strategies:(string * Qe_runtime.Engine.strategy) list ->
   ?jobs:int ->
+  ?live:(Qe_obs.Metrics.snapshot -> unit) ->
   expected:(instance -> bool) ->
   Qe_runtime.Protocol.t ->
   instance list ->
   record list
 (** Full matrix: instances x strategies x seeds.
+
+    [live] is the scrape hook: when given, every run executes under a
+    private fully-observed sink (engine [?obs] + ambient) and [live] is
+    called with the run's snapshot — {e including} wall-clock
+    [*_latency] histograms — as soon as it completes. It is called from
+    pool domains, concurrently: the callback must be domain-safe
+    (e.g. fold into an accumulator under a mutex, as
+    [qelect --metrics-port] does). Records are unchanged by
+    observation, so the determinism contract below is unaffected.
 
     [jobs] (default 1) runs the matrix on a {!Qe_par.Pool} of that many
     domains; [jobs:0] resolves to {!Qe_par.Pool.default_jobs} (the CLI's
@@ -102,6 +112,7 @@ val observed_sweep :
   ?seeds:int list ->
   ?strategies:(string * Qe_runtime.Engine.strategy) list ->
   ?jobs:int ->
+  ?live:(Qe_obs.Metrics.snapshot -> unit) ->
   expected:(instance -> bool) ->
   Qe_runtime.Protocol.t ->
   instance list ->
@@ -114,7 +125,11 @@ val observed_sweep :
 
     [jobs] parallelizes at {e instance} granularity — the sink-sharing
     unit — so records, per-instance snapshots and the merged total are
-    bit-identical at any [jobs] ([jobs:0] = auto, as in {!sweep}). *)
+    bit-identical at any [jobs] ([jobs:0] = auto, as in {!sweep}).
+    Wall-clock [*_latency] histograms are recorded into the sinks but
+    {e stripped} from [per_instance] and [total] (they could never be
+    bit-identical); [live] (domain-safe callback, as in {!sweep})
+    receives each instance's {e unstripped} snapshot on completion. *)
 
 val conformance_rate : record list -> int * int
 (** (conforming runs, total runs). *)
@@ -200,6 +215,7 @@ val chaos_sweep :
   ?watchdog:Qe_fault.Watchdog.t ->
   ?obs:Qe_obs.Sink.t ->
   ?jobs:int ->
+  ?live:(Qe_obs.Metrics.snapshot -> unit) ->
   expected:(instance -> bool) ->
   Qe_runtime.Protocol.t ->
   instance list ->
@@ -214,10 +230,18 @@ val chaos_sweep :
     aggregates and
     [c_metrics] are bit-identical at any [jobs] (fault decisions come
     from the plan's private seeded streams; the stock watchdogs are
-    turn-based, so outcomes don't depend on wall time). Traces differ
+    turn-based, so outcomes don't depend on wall time) — wall-clock
+    [*_latency] histograms are therefore stripped from [c_metrics],
+    though they stay in the trace's metric lines and in what [live]
+    sees. Traces differ
     only in their metrics lines: at [jobs:1] each run appends its sink's
     cumulative snapshot as before, while at [jobs > 1] per-run trace
     lines are replayed to [obs] in canonical run order with a single
-    merged snapshot at the end — `qelect report` totals agree either
-    way. A [Timeout] in one task is an ordinary outcome and never
+    merged (unstripped) snapshot at the end — `qelect report` totals
+    agree either way — followed by the batch's [pool.batch] per-domain
+    span lanes when [obs] is streaming. [live] (domain-safe callback,
+    as in {!sweep}) receives one snapshot per run: the run's private
+    sink reading at [jobs > 1], the shared [obs] interval diff at
+    [jobs:1] (a private per-run sink if no [obs] is attached). A
+    [Timeout] in one task is an ordinary outcome and never
     disturbs the other domains. *)

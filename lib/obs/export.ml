@@ -1,5 +1,5 @@
 let schema = "qelect-trace"
-let version = 2
+let version = 3
 
 type event = {
   seq : int;
@@ -40,6 +40,8 @@ let sample_to_json name (s : Metrics.sample) =
           ("counts", ints h.counts);
           ("sum", Jsonl.Int h.sum);
           ("count", Jsonl.Int h.count);
+          ("lo", Jsonl.Int h.lo);
+          ("hi", Jsonl.Int h.hi);
         ]
 
 let to_json = function
@@ -143,7 +145,16 @@ let sample_of_json v =
       let* counts = get_ints "counts" v in
       let* sum = get_int "sum" v in
       let* count = get_int "count" v in
-      Ok (name, Metrics.Hist { bounds; counts; sum; count })
+      (* version 3 added the observed extremes; pre-v3 histogram lines
+         decode with lo = hi = 0 (meaning "unknown") *)
+      let opt_int what dflt =
+        match Jsonl.member what v with
+        | None -> Ok dflt
+        | Some j -> need (what ^ ": int") (Jsonl.to_int j)
+      in
+      let* lo = opt_int "lo" 0 in
+      let* hi = opt_int "hi" 0 in
+      Ok (name, Metrics.Hist { bounds; counts; sum; count; lo; hi })
   | other -> Error ("unknown sample type " ^ other)
 
 let of_json v =

@@ -23,9 +23,12 @@ val schema : string
 (** ["qelect-trace"]. *)
 
 val version : int
-(** 2. Decoders reject newer versions. Version 2 added the engine fault
-    events and the [fault_seed]/[fault_plan] meta attributes; version-1
-    traces still decode (the version check is an upper bound). *)
+(** 3. Decoders reject newer versions. Version 3 added the [lo]/[hi]
+    observed extremes to histogram samples (absent fields decode as 0,
+    so version-2 traces still read — quantile clamping just loses its
+    envelope); version 2 added the engine fault events and the
+    [fault_seed]/[fault_plan] meta attributes; version-1 traces still
+    decode (the version check is an upper bound). *)
 
 type event = {
   seq : int;

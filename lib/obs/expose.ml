@@ -1,0 +1,119 @@
+(* A dependency-free HTTP/1.1 scrape endpoint on raw Unix sockets. *)
+
+type t = {
+  fd : Unix.file_descr;
+  port : int;
+  stopping : bool Atomic.t;
+  dom : unit Domain.t;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\n\
+     Content-Type: %s\r\n\
+     Content-Length: %d\r\n\
+     Connection: close\r\n\
+     \r\n\
+     %s"
+    status content_type (String.length body) body
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    let w = Unix.write fd b !off (n - !off) in
+    if w <= 0 then raise Exit;
+    off := !off + w
+  done
+
+(* merge every source that answers; a source raising mid-scrape (e.g. a
+   registry being torn down) drops out of this response only *)
+let scrape sources =
+  List.fold_left
+    (fun acc src ->
+      match src () with
+      | snap -> Metrics.merge acc snap
+      | exception _ -> acc)
+    [] sources
+
+let handle sources client =
+  Fun.protect
+    ~finally:(fun () -> try Unix.close client with Unix.Unix_error _ -> ())
+    (fun () ->
+      (* a scraper's GET fits in one read; don't let a silent client
+         wedge the single accept loop *)
+      Unix.setsockopt_float client Unix.SO_RCVTIMEO 5.0;
+      let buf = Bytes.create 4096 in
+      let n = Unix.read client buf 0 4096 in
+      if n > 0 then begin
+        let req = Bytes.sub_string buf 0 n in
+        let first_line =
+          match String.index_opt req '\r' with
+          | Some i -> String.sub req 0 i
+          | None -> req
+        in
+        let path =
+          match String.split_on_char ' ' first_line with
+          | meth :: path :: _ when meth = "GET" -> Some path
+          | _ -> None
+        in
+        let resp =
+          match path with
+          | Some "/metrics" ->
+              http_response ~status:"200 OK"
+                ~content_type:Openmetrics.content_type
+                (Openmetrics.render (scrape sources))
+          | Some "/healthz" ->
+              http_response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+          | Some _ ->
+              http_response ~status:"404 Not Found" ~content_type:"text/plain"
+                "not found\n"
+          | None ->
+              http_response ~status:"400 Bad Request"
+                ~content_type:"text/plain" "bad request\n"
+        in
+        write_all client resp
+      end)
+
+let serve fd sources =
+  let rec loop () =
+    match Unix.accept fd with
+    | client, _ ->
+        (try handle sources client with _ -> ());
+        loop ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+    | exception _ ->
+        (* shutdown/close of the listen socket from [stop] lands here;
+           any other listener failure also ends the server *)
+        ()
+  in
+  loop ()
+
+let start ?(host = "127.0.0.1") ~port ~sources () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let stopping = Atomic.make false in
+  let dom = Domain.spawn (fun () -> serve fd sources) in
+  { fd; port; stopping; dom }
+
+let port t = t.port
+
+let stop t =
+  if not (Atomic.exchange t.stopping true) then begin
+    (* SHUT_RD on the listening socket pops the blocked accept *)
+    (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    Domain.join t.dom;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end

@@ -1,0 +1,37 @@
+(** A dependency-free HTTP scrape endpoint for live metrics.
+
+    One [Domain] runs a blocking accept loop on a raw Unix TCP socket
+    and answers two routes:
+    - [GET /metrics] — the {!Metrics.merge} of every source snapshot,
+      rendered by {!Openmetrics.render};
+    - [GET /healthz] — ["ok"].
+
+    Sources are thunks, polled per scrape: pass closures over whatever
+    registries are live (a campaign's accumulating snapshot, the
+    process-wide cache and pool registries). A source that raises is
+    skipped for that response. Requests are served one at a time — this
+    is a scrape endpoint for one Prometheus and a curious operator, not
+    a web server — and a 5 s receive timeout keeps a wedged client from
+    parking the loop.
+
+    This is the exposition layer `qelect serve` mounts unchanged; today
+    `qelect sweep|chaos --metrics-port P` mount it for the duration of
+    a campaign. *)
+
+type t
+
+val start :
+  ?host:string ->
+  port:int ->
+  sources:(unit -> Metrics.snapshot) list ->
+  unit ->
+  t
+(** Bind [host] (default ["127.0.0.1"]) : [port] ([0] = kernel-assigned,
+    read it back with {!port}) and start serving on a fresh domain.
+    @raise Unix.Unix_error if the bind or listen fails (port taken). *)
+
+val port : t -> int
+(** The bound port (useful with [~port:0]). *)
+
+val stop : t -> unit
+(** Shut the listener down and join the serving domain. Idempotent. *)

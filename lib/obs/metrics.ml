@@ -6,6 +6,8 @@ type histogram = {
   buckets : int array;  (* length bounds + 1; last = overflow *)
   mutable sum : int;
   mutable count : int;
+  mutable lo : int;  (* min observed; 0 when count = 0 *)
+  mutable hi : int;  (* max observed; 0 when count = 0 *)
 }
 
 type instrument = C of counter | G of gauge | H of histogram
@@ -16,6 +18,15 @@ let create () = { tbl = Hashtbl.create 32 }
 
 let default_buckets = Array.init 10 (fun i -> 1 lsl (2 * i))
 (* 1, 4, 16, ..., 4^9 = 262144 *)
+
+let latency_buckets = Array.init 31 (fun i -> 1 lsl (i + 6))
+(* 64 ns, 128 ns, ..., 2^36 ns ~ 68.7 s: log-scale with ratio 2, sized
+   for monotonic-clock nanoseconds from sub-microsecond kernel stages up
+   to minute-long campaign phases. *)
+
+let is_latency name =
+  String.length name > 8
+  && String.sub name (String.length name - 8) 8 = "_latency"
 
 let counter r name =
   match Hashtbl.find_opt r.tbl name with
@@ -63,10 +74,14 @@ let histogram ?(buckets = default_buckets) r name =
           buckets = Array.make (Array.length buckets + 1) 0;
           sum = 0;
           count = 0;
+          lo = 0;
+          hi = 0;
         }
       in
       Hashtbl.add r.tbl name (H h);
       h
+
+let latency r name = histogram ~buckets:latency_buckets r name
 
 let observe h v =
   let bounds = h.bounds in
@@ -85,6 +100,14 @@ let observe h v =
   in
   h.buckets.(idx) <- h.buckets.(idx) + 1;
   h.sum <- h.sum + v;
+  if h.count = 0 then begin
+    h.lo <- v;
+    h.hi <- v
+  end
+  else begin
+    if v < h.lo then h.lo <- v;
+    if v > h.hi then h.hi <- v
+  end;
   h.count <- h.count + 1
 
 (* ---------- snapshots ---------- *)
@@ -92,7 +115,14 @@ let observe h v =
 type sample =
   | Counter of int
   | Gauge of int
-  | Hist of { bounds : int array; counts : int array; sum : int; count : int }
+  | Hist of {
+      bounds : int array;
+      counts : int array;
+      sum : int;
+      count : int;
+      lo : int;
+      hi : int;
+    }
 
 type snapshot = (string * sample) list
 
@@ -110,6 +140,8 @@ let snapshot r =
                 counts = Array.copy h.buckets;
                 sum = h.sum;
                 count = h.count;
+                lo = h.lo;
+                hi = h.hi;
               }
       in
       (name, s) :: acc)
@@ -118,20 +150,64 @@ let snapshot r =
 
 let find snap name = List.assoc_opt name snap
 
-let combine ~counter ~gauge ~hist a b =
+let quantile s q =
+  match s with
+  | Counter _ | Gauge _ -> None
+  | Hist h ->
+      if h.count = 0 || q < 0. || q > 1. then None
+      else begin
+        (* rank of the q-quantile observation, 1-based (nearest-rank) *)
+        let rank = max 1 (int_of_float (ceil (q *. float_of_int h.count))) in
+        let nb = Array.length h.bounds in
+        let i = ref 0 and cum = ref 0 in
+        while !cum + h.counts.(!i) < rank do
+          cum := !cum + h.counts.(!i);
+          i := !i + 1
+        done;
+        let bucket_lo = if !i = 0 then 0. else float_of_int h.bounds.(!i - 1) in
+        let bucket_hi =
+          if !i < nb then float_of_int h.bounds.(!i)
+          else if h.hi > 0 then float_of_int h.hi
+          else 2. *. float_of_int h.bounds.(nb - 1)
+        in
+        let in_bucket = h.counts.(!i) in
+        let frac =
+          if in_bucket = 0 then 0.
+          else float_of_int (rank - !cum) /. float_of_int in_bucket
+        in
+        let est = bucket_lo +. (frac *. (bucket_hi -. bucket_lo)) in
+        (* the recorded extremes tighten the bucket-resolution estimate;
+           lo/hi read 0 on snapshots decoded from pre-v3 traces, where
+           no tightening is possible *)
+        let est = if h.hi > 0 then min est (float_of_int h.hi) else est in
+        let est = if h.lo > 0 then max est (float_of_int h.lo) else est in
+        Some est
+      end
+
+let combine ~counter ~gauge ~hist ~range a b =
   match (a, b) with
   | Counter x, Counter y -> Counter (counter x y)
   | Gauge x, Gauge y -> Gauge (gauge x y)
   | Hist hx, Hist hy ->
       if hx.bounds <> hy.bounds then
         invalid_arg "Metrics: histogram bounds mismatch";
+      let count = hist hx.count hy.count in
+      let lo, hi =
+        if count = 0 then (0, 0)
+        else
+          range
+            (hx.count, hx.lo, hx.hi)
+            (hy.count, hy.lo, hy.hi)
+      in
       Hist
         {
           bounds = hx.bounds;
           counts = Array.init (Array.length hx.counts) (fun i ->
               hist hx.counts.(i) hy.counts.(i));
           sum = hist hx.sum hy.sum;
-          count = hist hx.count hy.count;
+          count;
+          lo;
+          hi;
         }
   | _ -> invalid_arg "Metrics: sample kind mismatch"
 
@@ -154,14 +230,21 @@ let rec zip f only_a only_b a b =
 
 let diff ~after ~before =
   zip
-    (combine ~counter:( - ) ~gauge:(fun a _ -> a) ~hist:( - ))
+    (combine ~counter:( - ) ~gauge:(fun a _ -> a) ~hist:( - )
+       (* min/max over only the interval are unrecoverable; the [after]
+          extremes are the tightest sound envelope *)
+       ~range:(fun (_, lo_a, hi_a) _ -> (lo_a, hi_a)))
     (fun kv -> Some kv) (* new since [before]: counts from 0 *)
     (fun _ -> None) (* gone: dropped *)
     after before
 
 let merge a b =
   zip
-    (combine ~counter:( + ) ~gauge:max ~hist:( + ))
+    (combine ~counter:( + ) ~gauge:max ~hist:( + )
+       ~range:(fun (ca, lo_a, hi_a) (cb, lo_b, hi_b) ->
+         if ca = 0 then (lo_b, hi_b)
+         else if cb = 0 then (lo_a, hi_a)
+         else (min lo_a lo_b, max hi_a hi_b)))
     (fun kv -> Some kv)
     (fun kv -> Some kv)
     a b
@@ -178,6 +261,15 @@ let apply r snap =
             (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c)
             h.counts;
           dst.sum <- dst.sum + h.sum;
+          if h.count > 0 then
+            if dst.count = 0 then begin
+              dst.lo <- h.lo;
+              dst.hi <- h.hi
+            end
+            else begin
+              if h.lo < dst.lo then dst.lo <- h.lo;
+              if h.hi > dst.hi then dst.hi <- h.hi
+            end;
           dst.count <- dst.count + h.count)
     snap
 

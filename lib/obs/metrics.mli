@@ -47,24 +47,59 @@ val histogram : ?buckets:int array -> registry -> string -> histogram
     powers of four [[|1; 4; 16; ...; 4^9|]]. The bucket layout is fixed
     at registration; re-registering with different bounds raises. *)
 
+val latency_buckets : int array
+(** Log-scale bounds for nanosecond latencies: powers of two from 2^6
+    (64 ns) to 2^36 (~68.7 s), ratio 2 between adjacent bounds. With
+    the recorded min/max, {!quantile} estimates carry a worst-case
+    relative error of the bucket ratio (2x), and much less in practice
+    thanks to linear interpolation within the bucket. *)
+
+val latency : registry -> string -> histogram
+(** [histogram ~buckets:latency_buckets]. By convention latency
+    histograms are named with an [_latency] suffix (see {!is_latency});
+    campaign-level aggregation strips them from determinism-checked
+    snapshots, since wall-clock distributions legitimately vary across
+    job counts and cache states. *)
+
+val is_latency : string -> bool
+(** True iff [name] ends with ["_latency"]. *)
+
 val observe : histogram -> int -> unit
 (** O(log #buckets): binary search for the bucket, three field
-    updates. *)
+    updates plus min/max maintenance. *)
 
 (** {1 Snapshots} *)
 
 type sample =
   | Counter of int
   | Gauge of int
-  | Hist of { bounds : int array; counts : int array; sum : int; count : int }
+  | Hist of {
+      bounds : int array;
+      counts : int array;
+      sum : int;
+      count : int;
+      lo : int;
+      hi : int;
+    }
       (** [counts] has [length bounds + 1] entries; the last is the
-          overflow bucket. *)
+          overflow bucket. [lo]/[hi] are the minimum and maximum
+          observed values, both 0 when [count = 0] (and on snapshots
+          decoded from pre-v3 traces, which did not record them). *)
 
 type snapshot = (string * sample) list
 (** Sorted by name. *)
 
 val snapshot : registry -> snapshot
 val find : snapshot -> string -> sample option
+
+val quantile : sample -> float -> float option
+(** [quantile s q] estimates the [q]-quantile (nearest-rank) of a
+    histogram sample: walk the cumulative bucket counts to the bucket
+    holding the rank, linearly interpolate within it, and clamp to the
+    recorded [lo]/[hi] envelope when available. [None] for counters,
+    gauges, empty histograms, or [q] outside [0, 1]. The estimate is
+    exact at the recorded extremes and within one bucket ratio
+    elsewhere (2x for {!latency_buckets}). *)
 
 val diff : after:snapshot -> before:snapshot -> snapshot
 (** Interval reading: counters and histogram buckets subtract (names

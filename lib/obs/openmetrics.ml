@@ -1,0 +1,83 @@
+(* OpenMetrics text exposition for Metrics snapshots. *)
+
+let content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+(* metric names: [a-zA-Z_:][a-zA-Z0-9_:]*; the registry's dotted names
+   (cache.hit.classes) map onto underscores (cache_hit_classes) *)
+let sanitize name =
+  let ok i c =
+    match c with
+    | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+    | '0' .. '9' -> i > 0
+    | _ -> false
+  in
+  let b = Bytes.of_string name in
+  Bytes.iteri (fun i c -> if not (ok i c) then Bytes.set b i '_') b;
+  Bytes.to_string b
+
+(* HELP text and label values: backslash, newline (and for label values
+   the double quote) must be escaped *)
+let escape ~quote s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' when quote -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_help = escape ~quote:false
+let escape_label = escape ~quote:true
+
+let quantiles = [ 0.5; 0.9; 0.99 ]
+
+let render snap =
+  let buf = Buffer.create 1024 in
+  let meta n ty orig =
+    Printf.bprintf buf "# HELP %s qelect %s\n" n (escape_help orig);
+    Printf.bprintf buf "# TYPE %s %s\n" n ty
+  in
+  List.iter
+    (fun (orig, s) ->
+      let n = sanitize orig in
+      match s with
+      | Metrics.Counter v ->
+          meta n "counter" orig;
+          Printf.bprintf buf "%s_total %d\n" n v
+      | Metrics.Gauge v ->
+          meta n "gauge" orig;
+          Printf.bprintf buf "%s %d\n" n v
+      | Metrics.Hist h ->
+          meta n "histogram" orig;
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              if i < Array.length h.bounds then
+                Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" n
+                  (escape_label (string_of_int h.bounds.(i)))
+                  !cum)
+            h.counts;
+          Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" n h.count;
+          Printf.bprintf buf "%s_sum %d\n" n h.sum;
+          Printf.bprintf buf "%s_count %d\n" n h.count;
+          if Metrics.is_latency orig && h.count > 0 then begin
+            (* estimated quantiles ride along as a summary family *)
+            let qn = n ^ "_quantiles" in
+            meta qn "summary" (orig ^ " estimated quantiles");
+            List.iter
+              (fun q ->
+                match Metrics.quantile s q with
+                | Some est ->
+                    Printf.bprintf buf "%s{quantile=\"%g\"} %g\n" qn q est
+                | None -> ())
+              quantiles;
+            Printf.bprintf buf "%s_sum %d\n" qn h.sum;
+            Printf.bprintf buf "%s_count %d\n" qn h.count
+          end)
+    snap;
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf

@@ -1,0 +1,29 @@
+(** OpenMetrics/Prometheus text exposition for {!Metrics.snapshot}.
+
+    One function, no server: {!render} turns a snapshot into the text
+    format every Prometheus-compatible scraper ingests. {!Expose} puts
+    it behind [GET /metrics].
+
+    Mapping from the registry's conventions:
+    - dotted names sanitize to underscores ([cache.hit.classes] →
+      [cache_hit_classes]); each family gets [# HELP] (carrying the
+      original dotted name) and [# TYPE] lines;
+    - counters render with the [_total] suffix;
+    - histograms render as cumulative [_bucket{le="..."}] samples (one
+      per bound, plus [+Inf]) with [_sum] and [_count];
+    - latency histograms ({!Metrics.is_latency}) additionally render a
+      [<name>_quantiles] summary family with estimated p50/p90/p99
+      ({!Metrics.quantile}).
+
+    The output ends with the [# EOF] terminator required by
+    OpenMetrics. *)
+
+val content_type : string
+(** [application/openmetrics-text; version=1.0.0; charset=utf-8]. *)
+
+val render : Metrics.snapshot -> string
+
+val sanitize : string -> string
+(** The name mapping, exposed for tests and for consumers that need to
+    predict exposition names: every byte outside [[a-zA-Z0-9_:]] (or a
+    leading digit) becomes [_]. *)

@@ -2,10 +2,11 @@ type t = {
   metrics : Metrics.registry;
   spans : Span.tracer;
   on_line : (Export.line -> unit) option;
+  cache_events : bool;
 }
 
-let create ?on_line () =
-  { metrics = Metrics.create (); spans = Span.tracer (); on_line }
+let create ?on_line ?(cache_events = false) () =
+  { metrics = Metrics.create (); spans = Span.tracer (); on_line; cache_events }
 
 let emit t line = match t.on_line with None -> () | Some f -> f line
 

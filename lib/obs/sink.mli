@@ -21,10 +21,19 @@ type t = {
   on_line : (Export.line -> unit) option;
       (** raw JSONL stream consumer, e.g. a file writer; [None] disables
           event streaming while keeping metrics and spans live *)
+  cache_events : bool;
+      (** when true (and [on_line] is set), the artifact cache streams a
+          timestamped [Export.Event] per L1/L2 hit — the instant-event
+          markers the Chrome exporter draws. Off by default: hit events
+          carry wall-clock timestamps and a fresh [seq = 0], so they do
+          not belong in streams consumed by determinism checks or
+          sequence-gap audits. *)
 }
 
-val create : ?on_line:(Export.line -> unit) -> unit -> t
-(** A sink with a fresh registry and tracer. *)
+val create :
+  ?on_line:(Export.line -> unit) -> ?cache_events:bool -> unit -> t
+(** A sink with a fresh registry and tracer. [cache_events] defaults to
+    [false]. *)
 
 val emit : t -> Export.line -> unit
 (** Forward to [on_line]; no-op when the sink has no stream. *)

@@ -61,6 +61,7 @@ let with_span ?attrs t name f =
       raise e
 
 let roots t = List.rev t.rev_roots
+let add_root t c = t.rev_roots <- c :: t.rev_roots
 
 let flame root =
   let buf = Buffer.create 256 in

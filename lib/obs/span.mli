@@ -41,6 +41,13 @@ val with_span :
 val roots : tracer -> closed list
 (** Completed top-level spans so far, in completion order. *)
 
+val add_root : tracer -> closed -> unit
+(** Append an externally-built tree to {!roots}. [closed] is a plain
+    record, so span trees can be synthesized from raw timing data
+    gathered where no tracer can live (e.g. the per-domain lanes of a
+    {!Qe_par.Pool} batch, reconstructed on the caller's domain after the
+    barrier) and still flow through the one export path. *)
+
 val flame : closed -> string
 (** An indented text rendering of one tree: name, duration, percentage
     of the root, per level. *)

@@ -9,10 +9,15 @@
 
 module Metrics = Qe_obs.Metrics
 module Sink = Qe_obs.Sink
+module Span = Qe_obs.Span
+module Export = Qe_obs.Export
 module Clock = Qe_obs.Clock
+module J = Qe_obs.Jsonl
 
 type batch = {
-  run : int -> unit;  (* stores its own result/error; never raises *)
+  run : int -> int -> unit;
+      (* [run i self]: stores its own result/error; never raises.
+         [self] is the participant id, recorded for the trace lanes. *)
   queues : int array array;  (* queues.(w): indices owned by participant w *)
   pos : int Atomic.t array;  (* next unclaimed slot of queues.(w) *)
   steals : int Atomic.t;  (* indices run by a non-owner *)
@@ -46,6 +51,12 @@ let g_batches = Atomic.make 0
 let g_steals = Atomic.make 0
 let g_idle_ns = Atomic.make 0
 
+(* process-wide latency distributions (task run time, per-participant
+   idle tails), folded in once per batch on the caller's domain — the
+   mutex is never on a task's path *)
+let g_reg = ref (Metrics.create ())
+let g_reg_m = Mutex.create ()
+
 type totals = { tasks : int; batches : int; steals : int; idle_ns : int }
 
 let totals () =
@@ -60,7 +71,25 @@ let reset_totals () =
   Atomic.set g_tasks 0;
   Atomic.set g_batches 0;
   Atomic.set g_steals 0;
-  Atomic.set g_idle_ns 0
+  Atomic.set g_idle_ns 0;
+  Mutex.lock g_reg_m;
+  g_reg := Metrics.create ();
+  Mutex.unlock g_reg_m
+
+let metrics_snapshot () =
+  let t = totals () in
+  let counters =
+    [
+      ("pool.batches", Metrics.Counter t.batches);
+      ("pool.idle_ns", Metrics.Counter t.idle_ns);
+      ("pool.steal", Metrics.Counter t.steals);
+      ("pool.tasks", Metrics.Counter t.tasks);
+    ]
+  in
+  Mutex.lock g_reg_m;
+  let hists = Metrics.snapshot !g_reg in
+  Mutex.unlock g_reg_m;
+  Metrics.merge counters hists
 
 (* ---------- size-aware assignment ----------
 
@@ -111,7 +140,7 @@ let chew b ~self =
   let rec drain_own () =
     match take self with
     | Some i ->
-        b.run i;
+        b.run i self;
         drain_own ()
     | None -> ()
   in
@@ -125,7 +154,7 @@ let chew b ~self =
       match take v with
       | Some i ->
           incr stolen;
-          b.run i
+          b.run i self
       | None -> draining := false
     done
   done;
@@ -184,10 +213,19 @@ let map t ?weight ~f arr =
   else begin
     let results = Array.make len None in
     let errors = Array.make len None in
-    let run i =
-      match f i arr.(i) with
+    (* per-task wall-clock envelope and runner id, for the latency
+       histograms and the per-domain trace lanes; the post-barrier mutex
+       synchronization makes the plain stores safe to read below *)
+    let t_beg = Array.make len 0 in
+    let t_fin = Array.make len 0 in
+    let runner = Array.make len (-1) in
+    let run i self =
+      t_beg.(i) <- Clock.now_ns ();
+      (match f i arr.(i) with
       | v -> results.(i) <- Some v
-      | exception e -> errors.(i) <- Some e
+      | exception e -> errors.(i) <- Some e);
+      t_fin.(i) <- Clock.now_ns ();
+      runner.(i) <- self
     in
     let weights =
       match weight with
@@ -204,6 +242,7 @@ let map t ?weight ~f arr =
         active = t.jobs;
       }
     in
+    let t_pub = Clock.now_ns () in
     Mutex.lock t.m;
     if t.stop then begin
       Mutex.unlock t.m;
@@ -239,6 +278,21 @@ let map t ?weight ~f arr =
     ignore (Atomic.fetch_and_add g_batches 1);
     ignore (Atomic.fetch_and_add g_steals steals);
     ignore (Atomic.fetch_and_add g_idle_ns idle);
+    let observe_latencies m =
+      let ht = Metrics.latency m "pool.task_latency" in
+      for i = 0 to len - 1 do
+        Metrics.observe ht (t_fin.(i) - t_beg.(i))
+      done;
+      let hi = Metrics.latency m "pool.idle_latency" in
+      Array.iter
+        (fun d ->
+          let gap = t_end - d in
+          if gap > 0 then Metrics.observe hi gap)
+        b.drained
+    in
+    Mutex.lock g_reg_m;
+    observe_latencies !g_reg;
+    Mutex.unlock g_reg_m;
     (match Sink.ambient () with
     | None -> ()
     | Some s ->
@@ -246,7 +300,73 @@ let map t ?weight ~f arr =
         Metrics.add (Metrics.counter m "pool.tasks") len;
         Metrics.incr (Metrics.counter m "pool.batches");
         Metrics.add (Metrics.counter m "pool.steal") steals;
-        Metrics.add (Metrics.counter m "pool.idle_ns") idle);
+        Metrics.add (Metrics.counter m "pool.idle_ns") idle;
+        observe_latencies m;
+        (* one [pool.batch] span tree per participant: its tasks in
+           start order (stolen ones flagged), then the idle tail it
+           spent blocked on the barrier — the per-domain lanes of the
+           Chrome-trace export *)
+        let owner = Array.make len 0 in
+        Array.iteri
+          (fun w q -> Array.iter (fun i -> owner.(i) <- w) q)
+          b.queues;
+        let by_runner = Array.make t.jobs [] in
+        for i = len - 1 downto 0 do
+          let w = runner.(i) in
+          if w >= 0 then by_runner.(w) <- i :: by_runner.(w)
+        done;
+        Array.iteri
+          (fun w is ->
+            let is = List.sort (fun a c -> compare t_beg.(a) t_beg.(c)) is in
+            let tasks =
+              List.map
+                (fun i ->
+                  {
+                    Span.name = "pool.task";
+                    start_ns = t_beg.(i);
+                    dur_ns = t_fin.(i) - t_beg.(i);
+                    attrs =
+                      [
+                        ("idx", J.Int i); ("stolen", J.Bool (owner.(i) <> w));
+                      ];
+                    children = [];
+                  })
+                is
+            in
+            let tail =
+              let gap = t_end - b.drained.(w) in
+              if gap <= 0 then []
+              else
+                [
+                  {
+                    Span.name = "pool.idle";
+                    start_ns = b.drained.(w);
+                    dur_ns = gap;
+                    attrs = [];
+                    children = [];
+                  };
+                ]
+            in
+            let stolen =
+              List.length (List.filter (fun i -> owner.(i) <> w) is)
+            in
+            let root =
+              {
+                Span.name = "pool.batch";
+                start_ns = t_pub;
+                dur_ns = t_end - t_pub;
+                attrs =
+                  [
+                    ("domain", J.Int w);
+                    ("tasks", J.Int (List.length is));
+                    ("stolen", J.Int stolen);
+                  ];
+                children = tasks @ tail;
+              }
+            in
+            Span.add_root s.Sink.spans root;
+            Sink.emit s (Export.Span_tree root))
+          by_runner);
     Array.iter (function Some e -> raise e | None -> ()) errors;
     Array.map Option.get results
   end

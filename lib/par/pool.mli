@@ -33,7 +33,16 @@
     [pool.steal] (indices run by a non-owner) and [pool.idle_ns]
     (summed per-participant gap between running dry and the batch
     barrier) to the caller's ambient {!Qe_obs.Sink}, and to the
-    process-wide {!totals}. *)
+    process-wide {!totals}. Per-task wall time and per-participant idle
+    tails additionally feed the [pool.task_latency] /
+    [pool.idle_latency] histograms (ambient sink and process-wide
+    {!metrics_snapshot}), and with an ambient sink each batch closes
+    with one [pool.batch] span tree per participant — its tasks in
+    start order (stolen ones flagged) and its idle tail, rooted with a
+    [domain] attribute so the Chrome-trace exporter can lay them out as
+    per-domain lanes. All of it is recorded after the batch barrier on
+    the caller's domain: nothing is added to a task's own path beyond
+    two clock reads. *)
 
 type t
 
@@ -93,4 +102,11 @@ type totals = {
 }
 
 val totals : unit -> totals
+
 val reset_totals : unit -> unit
+(** Zero the counters and drop the latency histograms. *)
+
+val metrics_snapshot : unit -> Qe_obs.Metrics.snapshot
+(** {!totals} as sorted [pool.*] counters, plus the process-wide
+    [pool.task_latency] / [pool.idle_latency] histograms — a ready-made
+    source for {!Qe_obs.Expose}. *)

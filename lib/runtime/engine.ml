@@ -826,6 +826,9 @@ let run ?strategy ?(seed = 0) ?(max_turns = 2_000_000) ?awake
   | None -> ()
   | Some s ->
       Obs.record_metrics s st strategy st.turns;
+      Obs.Metrics.observe
+        (Obs.Metrics.latency s.Obs.Sink.metrics "engine.run_latency")
+        result.wall_time_ns;
       (match root with
       | Some (tr, sp) ->
           Obs.Span.add_attr sp "turns" (Obs.J.Int st.turns);

@@ -1,5 +1,9 @@
 module Metrics = Qe_obs.Metrics
 module Sink = Qe_obs.Sink
+module Span = Qe_obs.Span
+module Export = Qe_obs.Export
+module Clock = Qe_obs.Clock
+module J = Qe_obs.Jsonl
 
 (* ---------- global switch ---------- *)
 
@@ -27,6 +31,83 @@ let strip_cache snap =
   List.filter
     (fun (name, _) -> not (String.starts_with ~prefix:"cache." name))
     snap
+
+(* ---------- domain-private latency tallies ---------- *)
+
+(* Hit latencies are tallied whether or not a sink is installed, so
+   `--stats` and the scrape endpoint can quote quantiles for any run.
+   Like the L1 hit cells, each domain owns a private tally (plain
+   mutable fields, no sharing on the hot path); stats pool them with
+   the same tolerance for racy reads as every other cache counter. *)
+type lhist = {
+  lh_counts : int array;  (* length = |latency_buckets| + 1 *)
+  mutable lh_sum : int;
+  mutable lh_count : int;
+  mutable lh_lo : int;
+  mutable lh_hi : int;
+}
+
+let lhist () =
+  {
+    lh_counts = Array.make (Array.length Metrics.latency_buckets + 1) 0;
+    lh_sum = 0;
+    lh_count = 0;
+    lh_lo = 0;
+    lh_hi = 0;
+  }
+
+let lh_observe lh v =
+  let bounds = Metrics.latency_buckets in
+  let nb = Array.length bounds in
+  let idx =
+    if v > bounds.(nb - 1) then nb
+    else begin
+      let lo = ref 0 and hi = ref (nb - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if bounds.(mid) < v then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    end
+  in
+  lh.lh_counts.(idx) <- lh.lh_counts.(idx) + 1;
+  lh.lh_sum <- lh.lh_sum + v;
+  if lh.lh_count = 0 then begin
+    lh.lh_lo <- v;
+    lh.lh_hi <- v
+  end
+  else begin
+    if v < lh.lh_lo then lh.lh_lo <- v;
+    if v > lh.lh_hi then lh.lh_hi <- v
+  end;
+  lh.lh_count <- lh.lh_count + 1
+
+let lh_reset lh =
+  Array.fill lh.lh_counts 0 (Array.length lh.lh_counts) 0;
+  lh.lh_sum <- 0;
+  lh.lh_count <- 0;
+  lh.lh_lo <- 0;
+  lh.lh_hi <- 0
+
+let lh_sample lh =
+  Metrics.Hist
+    {
+      bounds = Array.copy Metrics.latency_buckets;
+      counts = Array.copy lh.lh_counts;
+      sum = lh.lh_sum;
+      count = lh.lh_count;
+      lo = lh.lh_lo;
+      hi = lh.lh_hi;
+    }
+
+(* pooled read across domains' private tallies *)
+let lh_pool samples =
+  List.fold_left
+    (fun acc lh -> Metrics.merge acc [ ("h", lh_sample lh) ])
+    [ ("h", lh_sample (lhist ())) ]
+    samples
+  |> fun merged ->
+  match merged with [ (_, s) ] -> s | _ -> assert false
 
 (* ---------- sharded single-flight tables ---------- *)
 
@@ -60,6 +141,8 @@ type 'a l1 = {
   mutable l1_gen : int;
   l1_tbl : (string, ('a, exn) result * Metrics.snapshot) Hashtbl.t;
   l1_hits : int Atomic.t;
+  l1_lat : lhist;  (* this domain's L1 hit latencies *)
+  l2_lat : lhist;  (* this domain's L2 hit latencies (incl. waits) *)
 }
 
 type 'a table = {
@@ -69,7 +152,8 @@ type 'a table = {
   misses : int Atomic.t;
   waits : int Atomic.t;
   l1_key : 'a l1 Domain.DLS.key;
-  l1_cells : int Atomic.t list ref;  (* one per domain that touched us *)
+  l1_cells : (int Atomic.t * lhist * lhist) list ref;
+      (* one triple (hit cell, L1 tally, L2 tally) per domain *)
   l1_cells_m : Mutex.t;
 }
 
@@ -79,6 +163,8 @@ type stat = {
   l1_hits : int;
   misses : int;
   single_flight_waits : int;
+  l1_latency : Metrics.sample;
+  l2_latency : Metrics.sample;
 }
 
 (* Registry of every table, type-erased to the operations clear/stats/
@@ -104,10 +190,12 @@ let create_table ~kind () =
        process-global story, like every other cache counter) *)
     Domain.DLS.new_key (fun () ->
         let cell = Atomic.make 0 in
+        let l1_lat = lhist () and l2_lat = lhist () in
         Mutex.lock l1_cells_m;
-        l1_cells := cell :: !l1_cells;
+        l1_cells := (cell, l1_lat, l2_lat) :: !l1_cells;
         Mutex.unlock l1_cells_m;
-        { l1_gen = -1; l1_tbl = Hashtbl.create 64; l1_hits = cell })
+        { l1_gen = -1; l1_tbl = Hashtbl.create 64; l1_hits = cell;
+          l1_lat; l2_lat })
   in
   let t =
     {
@@ -135,30 +223,35 @@ let create_table ~kind () =
         Mutex.unlock s.m)
       t.shards
   in
-  let pooled_l1 () =
+  let cells () =
     Mutex.lock t.l1_cells_m;
-    let cells = !(t.l1_cells) in
+    let cs = !(t.l1_cells) in
     Mutex.unlock t.l1_cells_m;
-    List.fold_left (fun acc c -> acc + Atomic.get c) 0 cells
+    cs
   in
   let stat_t () =
-    let l1 = pooled_l1 () in
+    let cs = cells () in
+    let l1 = List.fold_left (fun acc (c, _, _) -> acc + Atomic.get c) 0 cs in
     {
       kind = t.kind;
       hits = Atomic.get t.hits + l1;
       l1_hits = l1;
       misses = Atomic.get t.misses;
       single_flight_waits = Atomic.get t.waits;
+      l1_latency = lh_pool (List.map (fun (_, a, _) -> a) cs);
+      l2_latency = lh_pool (List.map (fun (_, _, b) -> b) cs);
     }
   in
   let reset_t () =
     Atomic.set t.hits 0;
     Atomic.set t.misses 0;
     Atomic.set t.waits 0;
-    Mutex.lock t.l1_cells_m;
-    let cells = !(t.l1_cells) in
-    Mutex.unlock t.l1_cells_m;
-    List.iter (fun c -> Atomic.set c 0) cells
+    List.iter
+      (fun (c, a, b) ->
+        Atomic.set c 0;
+        lh_reset a;
+        lh_reset b)
+      (cells ())
   in
   Mutex.lock registry_m;
   let dup = List.exists (fun e -> e.r_kind = kind) !registry in
@@ -193,6 +286,24 @@ let hit_rate rows =
   let m = List.fold_left (fun a r -> a + r.misses) 0 rows in
   if h + m = 0 then 0. else float_of_int h /. float_of_int (h + m)
 
+let metrics_snapshot () =
+  let rows = stats () in
+  let waits =
+    List.fold_left (fun a r -> a + r.single_flight_waits) 0 rows
+  in
+  List.concat_map
+    (fun r ->
+      [
+        ("cache.hit." ^ r.kind, Metrics.Counter r.hits);
+        ("cache.l1.hit." ^ r.kind, Metrics.Counter r.l1_hits);
+        ("cache.miss." ^ r.kind, Metrics.Counter r.misses);
+        ("cache." ^ r.kind ^ ".l1.hit_latency", r.l1_latency);
+        ("cache." ^ r.kind ^ ".l2.hit_latency", r.l2_latency);
+      ])
+    rows
+  @ [ ("cache.single_flight_wait", Metrics.Counter waits) ]
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let publish shard key fl res delta =
   Mutex.lock shard.m;
   Hashtbl.replace shard.tbl key (Ready (res, delta));
@@ -202,9 +313,25 @@ let publish shard key fl res delta =
   Condition.broadcast fl.fl_cv;
   Mutex.unlock fl.fl_m
 
+(* L1/L2 hits become timestamped trace events only when the sink opted
+   in (run --trace-out): they carry wall-clock attrs and no sequence
+   number, so determinism-checked streams must not see them. *)
+let hit_event kind level t_ns =
+  match Sink.ambient () with
+  | Some s when s.Sink.cache_events && s.Sink.on_line <> None ->
+      Sink.emit s
+        (Export.Event
+           {
+             seq = 0;
+             name = "cache." ^ level ^ ".hit";
+             attrs = [ ("kind", J.String kind); ("t_ns", J.Int t_ns) ];
+           })
+  | _ -> ()
+
 let memo t ~key compute =
   if not (enabled ()) then compute ()
   else begin
+    let t0 = Clock.now_ns () in
     (* L1: this domain's private table — no lock, no shared write on a
        hit beyond the domain's own stat cell. The warm path of a sweep
        lives entirely here. *)
@@ -220,6 +347,8 @@ let memo t ~key compute =
         bump ("cache.hit." ^ t.kind);
         bump ("cache.l1.hit." ^ t.kind);
         replay delta;
+        lh_observe l1.l1_lat (Clock.now_ns () - t0);
+        hit_event t.kind "l1" t0;
         (match res with Ok v -> v | Error e -> raise e)
     | None ->
         (* L2: shared shards, single-flight on a genuine cold miss. Any
@@ -235,16 +364,31 @@ let memo t ~key compute =
               Atomic.incr t.hits;
               bump ("cache.hit." ^ t.kind);
               replay delta;
+              (* includes any single-flight wait this lookup sat through *)
+              lh_observe l1.l2_lat (Clock.now_ns () - t0);
+              hit_event t.kind "l2" t0;
               (match res with Ok v -> v | Error e -> raise e)
           | Some (In_flight fl) ->
               Mutex.unlock shard.m;
               Atomic.incr t.waits;
               bump "cache.single_flight_wait";
-              Mutex.lock fl.fl_m;
-              while not fl.fl_done do
-                Condition.wait fl.fl_cv fl.fl_m
-              done;
-              Mutex.unlock fl.fl_m;
+              let wait () =
+                Mutex.lock fl.fl_m;
+                while not fl.fl_done do
+                  Condition.wait fl.fl_cv fl.fl_m
+                done;
+                Mutex.unlock fl.fl_m
+              in
+              (match Sink.ambient () with
+              | None -> wait ()
+              | Some s ->
+                  let w0 = Clock.now_ns () in
+                  Span.with_span
+                    ~attrs:[ ("kind", J.String t.kind) ]
+                    s.Sink.spans "cache.wait" wait;
+                  Metrics.observe
+                    (Metrics.latency s.Sink.metrics "cache.wait_latency")
+                    (Clock.now_ns () - w0));
               lookup ()
           | None ->
               let fl =

@@ -91,14 +91,30 @@ type stat = {
           pooled across every domain that ever touched the table *)
   misses : int;
   single_flight_waits : int;
+  l1_latency : Qe_obs.Metrics.sample;
+      (** hit-latency histogram ({!Qe_obs.Metrics.Hist} over
+          {!Qe_obs.Metrics.latency_buckets}) of this table's L1 hits,
+          pooled across domains — feed it {!Qe_obs.Metrics.quantile} *)
+  l2_latency : Qe_obs.Metrics.sample;
+      (** same for L2 hits; a waiter's latency includes its
+          single-flight wait *)
 }
 
 val stats : unit -> stat list
 (** One row per table, sorted by [kind]. Process-global counts since the
     last {!reset_stats} — unlike the [cache.*] sink counters, these are
-    tallied even when no ambient sink is installed. *)
+    tallied even when no ambient sink is installed (hit latencies are
+    tallied in per-domain cells, so the lock-free L1 path stays free of
+    shared writes). *)
 
 val reset_stats : unit -> unit
+
+val metrics_snapshot : unit -> Qe_obs.Metrics.snapshot
+(** The process-global cache counters and hit-latency histograms as a
+    sorted snapshot ([cache.hit.<kind>], [cache.l1.hit.<kind>],
+    [cache.miss.<kind>], [cache.<kind>.l1.hit_latency],
+    [cache.<kind>.l2.hit_latency], [cache.single_flight_wait]) — a
+    ready-made source for {!Qe_obs.Expose}. *)
 
 val hit_rate : stat list -> float
 (** Pooled [hits / (hits + misses)] over the rows; [0.] when idle. *)

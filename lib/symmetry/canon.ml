@@ -281,6 +281,11 @@ let run ?(max_leaves = 200_000) g =
       end
     end
   in
+  let t_start =
+    match Qe_obs.Sink.ambient () with
+    | Some _ -> Qe_obs.Clock.now_ns ()
+    | None -> 0
+  in
   let flush_telemetry () =
     match Qe_obs.Sink.ambient () with
     | None -> ()
@@ -293,7 +298,11 @@ let run ?(max_leaves = 200_000) g =
         add (counter m "canon.prune.orbit") !prune_orbit;
         add (counter m "canon.prune.invariant") !prune_invariant;
         add (counter m "canon.generators") (List.length !generators);
-        observe (histogram m "canon.leaves_per_run") !leaves
+        observe (histogram m "canon.leaves_per_run") !leaves;
+        if t_start <> 0 then
+          observe
+            (latency m "canon.run_latency")
+            (Qe_obs.Clock.now_ns () - t_start)
   in
   (try search (Refine.equitable g) [] 0
    with e ->

@@ -14,11 +14,14 @@ let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 let gcd_all = List.fold_left gcd 0
 
 let compute ?max_leaves b =
-  (match Qe_obs.Sink.ambient () with
-  | Some s ->
-      Qe_obs.Metrics.incr
-        (Qe_obs.Metrics.counter s.Qe_obs.Sink.metrics "classes.compute")
-  | None -> ());
+  let t_start =
+    match Qe_obs.Sink.ambient () with
+    | Some s ->
+        Qe_obs.Metrics.incr
+          (Qe_obs.Metrics.counter s.Qe_obs.Sink.metrics "classes.compute");
+        Qe_obs.Clock.now_ns ()
+    | None -> 0
+  in
   (* The classes are the orbits of the color-preserving automorphisms
      (equivalently: nodes with isomorphic surroundings — Lemma 3.1's first
      claim, cross-checked in the test suite). One automorphism run finds
@@ -50,6 +53,14 @@ let compute ?max_leaves b =
   List.iteri
     (fun i (_, members) -> List.iter (fun u -> node_class.(u) <- i) members)
     ordered;
+  (if t_start <> 0 then
+     match Qe_obs.Sink.ambient () with
+     | Some s ->
+         Qe_obs.Metrics.observe
+           (Qe_obs.Metrics.latency s.Qe_obs.Sink.metrics
+              "classes.compute_latency")
+           (Qe_obs.Clock.now_ns () - t_start)
+     | None -> ());
   { ordered; node_class; num_black = List.length blacks }
 
 let classes t = List.map snd t.ordered

@@ -482,7 +482,16 @@ let step g p =
   done;
   p'
 
-let fixpoint g p0 = refine_worklist (csr_of g) p0
+let fixpoint g p0 =
+  match Qe_obs.Sink.ambient () with
+  | None -> refine_worklist (csr_of g) p0
+  | Some s ->
+      let t0 = Qe_obs.Clock.now_ns () in
+      let p = refine_worklist (csr_of g) p0 in
+      Qe_obs.Metrics.observe
+        (Qe_obs.Metrics.latency s.Qe_obs.Sink.metrics "refine.fixpoint_latency")
+        (Qe_obs.Clock.now_ns () - t0);
+      p
 let equitable g = fixpoint g (initial g)
 
 let split p u =

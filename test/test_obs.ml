@@ -35,11 +35,13 @@ let test_counter_gauge_hist () =
   let h = Metrics.histogram ~buckets:[| 1; 10; 100 |] r "h" in
   List.iter (Metrics.observe h) [ 0; 1; 2; 10; 11; 1000 ];
   (match Metrics.find (Metrics.snapshot r) "h" with
-  | Some (Metrics.Hist { bounds; counts; sum; count }) ->
+  | Some (Metrics.Hist { bounds; counts; sum; count; lo; hi }) ->
       Alcotest.(check (array int)) "bounds" [| 1; 10; 100 |] bounds;
       Alcotest.(check (array int)) "counts" [| 2; 2; 1; 1 |] counts;
       Alcotest.(check int) "sum" 1024 sum;
-      Alcotest.(check int) "count" 6 count
+      Alcotest.(check int) "count" 6 count;
+      Alcotest.(check int) "lo" 0 lo;
+      Alcotest.(check int) "hi" 1000 hi
   | _ -> Alcotest.fail "histogram sample missing");
   Alcotest.check_raises "kind clash"
     (Invalid_argument "Metrics.gauge: c is not a gauge") (fun () ->
@@ -293,14 +295,18 @@ let gen_snapshot =
         map (fun n -> Metrics.Counter n) (int_bound 1_000_000);
         map (fun n -> Metrics.Gauge n) (int_bound 1_000_000);
         map
-          (fun (counts, sum) ->
+          (fun ((counts, sum), (a, b)) ->
             let k = Array.length counts - 1 in
             let bounds = Array.init k (fun i -> 1 lsl i) in
             let count = Array.fold_left ( + ) 0 counts in
-            Metrics.Hist { bounds; counts; sum; count })
+            let lo = if count = 0 then 0 else min a b in
+            let hi = if count = 0 then 0 else max a b in
+            Metrics.Hist { bounds; counts; sum; count; lo; hi })
           (pair
-             (array_size (int_range 1 5) (int_bound 100))
-             (int_bound 10_000));
+             (pair
+                (array_size (int_range 1 5) (int_bound 100))
+                (int_bound 10_000))
+             (pair (int_bound 10_000) (int_bound 10_000)));
       ]
   in
   (* snapshots are sorted, name-unique assoc lists *)
@@ -568,6 +574,272 @@ let test_summary_verdicts () =
   Alcotest.(check bool) "summary has tag histogram" true
     (contains "posts by tag:")
 
+(* --- quantiles --- *)
+
+let sample_of r name =
+  match Metrics.find (Metrics.snapshot r) name with
+  | Some s -> s
+  | None -> Alcotest.fail (name ^ ": sample missing")
+
+let test_quantile_estimates () =
+  let r = Metrics.create () in
+  let h = Metrics.latency r "one_latency" in
+  Alcotest.(check bool) "empty hist has no quantile" true
+    (Metrics.quantile (sample_of r "one_latency") 0.5 = None);
+  Metrics.observe h 5_000;
+  let s = sample_of r "one_latency" in
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 0.)))
+        (Printf.sprintf "single value exact at q=%g" q)
+        (Some 5_000.) (Metrics.quantile s q))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  Alcotest.(check bool) "q out of range" true (Metrics.quantile s 1.5 = None);
+  Alcotest.(check bool) "counters have no quantile" true
+    (Metrics.quantile (Metrics.Counter 3) 0.5 = None);
+  (* uniform 1..1000 over the power-of-two buckets: the documented
+     worst case is one bucket ratio (2x); interpolation does better *)
+  let u = Metrics.latency r "uniform_latency" in
+  for v = 1 to 1000 do
+    Metrics.observe u v
+  done;
+  let s = sample_of r "uniform_latency" in
+  List.iter
+    (fun (q, exact) ->
+      match Metrics.quantile s q with
+      | None -> Alcotest.fail "quantile missing"
+      | Some est ->
+          Alcotest.(check bool)
+            (Printf.sprintf "q=%g estimate %.0f within 2x of %.0f" q est exact)
+            true
+            (est >= exact /. 2. && est <= exact *. 2.))
+    [ (0.5, 500.); (0.9, 900.); (0.99, 990.) ];
+  Alcotest.(check (option (float 0.))) "p0 clamps to lo" (Some 1.)
+    (Metrics.quantile s 0.0);
+  Alcotest.(check (option (float 0.))) "p100 clamps to hi" (Some 1000.)
+    (Metrics.quantile s 1.0)
+
+let test_hist_extremes_combine () =
+  let r1 = Metrics.create () in
+  let r2 = Metrics.create () in
+  List.iter (Metrics.observe (Metrics.latency r1 "x_latency")) [ 100; 900 ];
+  List.iter (Metrics.observe (Metrics.latency r2 "x_latency")) [ 30; 500 ];
+  let m =
+    Metrics.merge (Metrics.snapshot r1) (Metrics.snapshot r2)
+  in
+  (match Metrics.find m "x_latency" with
+  | Some (Metrics.Hist { lo; hi; count; _ }) ->
+      Alcotest.(check int) "merged count" 4 count;
+      Alcotest.(check int) "merged lo" 30 lo;
+      Alcotest.(check int) "merged hi" 900 hi
+  | _ -> Alcotest.fail "merged histogram missing");
+  let before = Metrics.snapshot r1 in
+  Metrics.observe (Metrics.latency r1 "x_latency") 5;
+  let d = Metrics.diff ~after:(Metrics.snapshot r1) ~before in
+  match Metrics.find d "x_latency" with
+  | Some (Metrics.Hist { lo; hi; count; _ }) ->
+      Alcotest.(check int) "diff count" 1 count;
+      (* interval readings keep the after snapshot's envelope *)
+      Alcotest.(check int) "diff lo" 5 lo;
+      Alcotest.(check int) "diff hi" 900 hi
+  | _ -> Alcotest.fail "diffed histogram missing"
+
+(* --- v2 trace back-compat: histograms without lo/hi decode as 0 --- *)
+
+let test_decode_v2_histogram () =
+  let line =
+    {|{"kind":"metrics","samples":[{"name":"h","type":"histogram","bounds":[1,2],"counts":[1,0,1],"sum":4,"count":2}]}|}
+  in
+  match Export.of_line line with
+  | Ok (Export.Metric_snapshot [ ("h", Metrics.Hist h) ]) ->
+      Alcotest.(check int) "count" 2 h.count;
+      Alcotest.(check int) "lo defaults to 0" 0 h.lo;
+      Alcotest.(check int) "hi defaults to 0" 0 h.hi
+  | Ok _ -> Alcotest.fail "unexpected decode shape"
+  | Error e -> Alcotest.fail ("v2 line rejected: " ^ e)
+
+(* --- openmetrics --- *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let check_contains out needle =
+  Alcotest.(check bool) ("renders " ^ needle) true (contains out needle)
+
+let test_openmetrics_render () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "engine.moves") 5;
+  Metrics.set (Metrics.gauge r "9queue-depth") 3;
+  let h = Metrics.histogram ~buckets:[| 1; 10 |] r "wb.size" in
+  List.iter (Metrics.observe h) [ 0; 5; 100 ];
+  let l = Metrics.latency r "step_latency" in
+  List.iter (Metrics.observe l) [ 100; 200; 400 ];
+  let out = Qe_obs.Openmetrics.render (Metrics.snapshot r) in
+  check_contains out "# HELP engine_moves qelect engine.moves\n";
+  check_contains out "# TYPE engine_moves counter\n";
+  check_contains out "engine_moves_total 5\n";
+  (* leading digit and '-' both sanitize to '_' *)
+  check_contains out "# TYPE _queue_depth gauge\n";
+  check_contains out "_queue_depth 3\n";
+  (* cumulative buckets plus the +Inf catch-all *)
+  check_contains out "wb_size_bucket{le=\"1\"} 1\n";
+  check_contains out "wb_size_bucket{le=\"10\"} 2\n";
+  check_contains out "wb_size_bucket{le=\"+Inf\"} 3\n";
+  check_contains out "wb_size_sum 105\n";
+  check_contains out "wb_size_count 3\n";
+  (* latency histograms ride with a quantile summary family *)
+  check_contains out "# TYPE step_latency histogram\n";
+  check_contains out "# TYPE step_latency_quantiles summary\n";
+  (* p50 of {100, 200, 400}: rank 2 tops out bucket (128, 256] -> 256,
+     within the documented one-bucket-ratio error of the exact 200 *)
+  check_contains out "step_latency_quantiles{quantile=\"0.5\"} 256\n";
+  check_contains out "step_latency_quantiles_count 3\n";
+  Alcotest.(check bool) "terminated by # EOF" true
+    (String.length out >= 6 && String.sub out (String.length out - 6) 6 = "# EOF\n");
+  (* non-latency histograms get no quantile family *)
+  Alcotest.(check bool) "no summary for plain hist" false
+    (contains out "wb_size_quantiles");
+  Alcotest.(check string) "sanitize keeps legal bytes" "cache_hit_classes"
+    (Qe_obs.Openmetrics.sanitize "cache.hit.classes");
+  Alcotest.(check string) "sanitize leading digit" "_9to5_rate:x"
+    (Qe_obs.Openmetrics.sanitize "99to5 rate:x")
+
+(* --- expose --- *)
+
+let http_get port path =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        "GET " ^ path ^ " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n"
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let bytes = Bytes.create 4096 in
+      let rec loop () =
+        let n = Unix.read fd bytes 0 4096 in
+        if n > 0 then begin
+          Buffer.add_subbytes buf bytes 0 n;
+          loop ()
+        end
+      in
+      (try loop () with Unix.Unix_error _ -> ());
+      Buffer.contents buf)
+
+let test_expose_scrape () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "e2e.hits") 3;
+  let flaky () = failwith "down" in
+  let srv =
+    Qe_obs.Expose.start ~port:0
+      ~sources:[ (fun () -> Metrics.snapshot r); flaky ]
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Qe_obs.Expose.stop srv)
+    (fun () ->
+      let port = Qe_obs.Expose.port srv in
+      Alcotest.(check bool) "kernel assigned a port" true (port > 0);
+      let resp = http_get port "/metrics" in
+      Alcotest.(check bool) "200" true
+        (String.length resp >= 12 && String.sub resp 0 12 = "HTTP/1.1 200");
+      check_contains resp "application/openmetrics-text";
+      check_contains resp "e2e_hits_total 3\n";
+      check_contains resp "# EOF\n";
+      let again = http_get port "/metrics" in
+      check_contains again "e2e_hits_total 3\n";
+      check_contains (http_get port "/healthz") "ok";
+      let nf = http_get port "/nope" in
+      Alcotest.(check bool) "404" true (contains nf "404"));
+  (* stop is idempotent *)
+  Qe_obs.Expose.stop srv
+
+(* --- chrome export --- *)
+
+let test_chrome_export () =
+  let span ?(attrs = []) ?(children = []) name start_ns dur_ns =
+    { Span.name; start_ns; dur_ns; attrs; children }
+  in
+  let lines =
+    [
+      Export.Meta { producer = "test"; attrs = [] };
+      Export.Event { seq = 1; name = "moved"; attrs = [] };
+      Export.Event
+        {
+          seq = 0;
+          name = "cache.l1.hit";
+          attrs = [ ("kind", Jsonl.String "classes"); ("t_ns", Jsonl.Int 500) ];
+        };
+      Export.Span_tree
+        (span "engine.run" 100 900
+           ~children:[ span "engine.turn" 150 200 ]);
+      Export.Span_tree
+        (span "pool.batch" 1000 5000
+           ~attrs:[ ("domain", Jsonl.Int 1); ("tasks", Jsonl.Int 2) ]
+           ~children:
+             [
+               span "pool.task" 1000 2000 ~attrs:[ ("idx", Jsonl.Int 0) ];
+               span "pool.idle" 3000 3000;
+             ]);
+      Export.Metric_snapshot [ ("n", Metrics.Counter 1) ];
+    ]
+  in
+  let j = Qe_obs.Chrome.of_lines lines in
+  (* the export must be valid JSON end to end *)
+  (match Jsonl.of_string (Jsonl.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "json roundtrip" true (j' = j)
+  | Error e -> Alcotest.fail ("invalid JSON: " ^ e));
+  let events =
+    match j with
+    | Jsonl.Obj [ ("traceEvents", Jsonl.List evs) ] -> evs
+    | _ -> Alcotest.fail "expected {traceEvents: [...]}"
+  in
+  let str k e = Option.bind (Jsonl.member k e) Jsonl.to_str in
+  let int k e = Option.bind (Jsonl.member k e) Jsonl.to_int in
+  let phases tid =
+    List.filter_map
+      (fun e ->
+        if int "tid" e = Some tid then
+          match str "ph" e with
+          | Some ("B" | "E" | "i" as p) -> Some p
+          | _ -> None
+        else None)
+      events
+  in
+  (* lane 0: engine span (B,E,B,E nested) and the cache-hit instant *)
+  let lane0 = phases 0 in
+  Alcotest.(check int) "lane 0 B count" 2
+    (List.length (List.filter (( = ) "B") lane0));
+  Alcotest.(check int) "lane 0 E count" 2
+    (List.length (List.filter (( = ) "E") lane0));
+  Alcotest.(check int) "lane 0 instants" 1
+    (List.length (List.filter (( = ) "i") lane0));
+  (* lane 2 = pool domain 1: batch + task + idle *)
+  let lane2 = phases 2 in
+  Alcotest.(check int) "pool lane B count" 3
+    (List.length (List.filter (( = ) "B") lane2));
+  Alcotest.(check int) "pool lane E count" 3
+    (List.length (List.filter (( = ) "E") lane2));
+  (* the seq-only engine event has no wall-clock extent: skipped *)
+  Alcotest.(check bool) "logical events skipped" false
+    (List.exists (fun e -> str "name" e = Some "moved") events);
+  (* lanes are named *)
+  Alcotest.(check bool) "thread_name metadata" true
+    (List.exists (fun e -> str "ph" e = Some "M") events);
+  (* timestamps are microseconds *)
+  Alcotest.(check bool) "ts in us" true
+    (List.exists
+       (fun e ->
+         str "name" e = Some "engine.run"
+         && (match Jsonl.member "ts" e with
+            | Some (Jsonl.Float f) -> f = 0.1
+            | _ -> false))
+       events)
+
 let () =
   Alcotest.run "obs"
     [
@@ -604,6 +876,20 @@ let () =
         ] );
       ( "sink",
         [ Alcotest.test_case "ambient scoping" `Quick test_ambient_scoping ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "estimates" `Quick test_quantile_estimates;
+          Alcotest.test_case "extremes combine" `Quick
+            test_hist_extremes_combine;
+          Alcotest.test_case "v2 histogram decodes" `Quick
+            test_decode_v2_histogram;
+        ] );
+      ( "openmetrics",
+        [ Alcotest.test_case "render" `Quick test_openmetrics_render ] );
+      ( "expose",
+        [ Alcotest.test_case "scrape endpoint" `Quick test_expose_scrape ] );
+      ( "chrome",
+        [ Alcotest.test_case "trace export" `Quick test_chrome_export ] );
       ( "engine",
         [
           Alcotest.test_case "trace totals = result" `Quick

@@ -465,6 +465,81 @@ let test_soak () =
       Alcotest.(check bool) "faults actually fired" true
         (report.Campaign.c_faults_fired > 0)
 
+(* ---------- pool batch telemetry ---------- *)
+
+let test_pool_batch_spans () =
+  Pool.reset_totals ();
+  let sink = Qe_obs.Sink.create () in
+  let out =
+    Qe_obs.Sink.with_ambient sink (fun () ->
+        Pool.run ~jobs:2 ~f:(fun i x -> i + x) (Array.init 8 Fun.id))
+  in
+  Alcotest.(check (array int)) "results unaffected"
+    (Array.init 8 (fun i -> 2 * i))
+    out;
+  let roots = Qe_obs.Span.roots sink.Qe_obs.Sink.spans in
+  let batches =
+    List.filter (fun c -> c.Qe_obs.Span.name = "pool.batch") roots
+  in
+  Alcotest.(check int) "one lane per participant" 2 (List.length batches);
+  let domains =
+    List.filter_map
+      (fun c ->
+        match List.assoc_opt "domain" c.Qe_obs.Span.attrs with
+        | Some (Qe_obs.Jsonl.Int d) -> Some d
+        | _ -> None)
+      batches
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "lanes carry distinct domain ids" [ 0; 1 ]
+    domains;
+  let tasks =
+    List.concat_map
+      (fun c ->
+        List.filter
+          (fun ch -> ch.Qe_obs.Span.name = "pool.task")
+          c.Qe_obs.Span.children)
+      batches
+  in
+  Alcotest.(check int) "every task has a span" 8 (List.length tasks);
+  let idxs =
+    List.filter_map
+      (fun t ->
+        match List.assoc_opt "idx" t.Qe_obs.Span.attrs with
+        | Some (Qe_obs.Jsonl.Int i) -> Some i
+        | _ -> None)
+      tasks
+    |> List.sort compare
+  in
+  Alcotest.(check (list int)) "task spans carry the input index"
+    (List.init 8 Fun.id) idxs;
+  List.iter
+    (fun t ->
+      Alcotest.(check bool) "stolen flag present" true
+        (match List.assoc_opt "stolen" t.Qe_obs.Span.attrs with
+        | Some (Qe_obs.Jsonl.Bool _) -> true
+        | _ -> false))
+    tasks;
+  (* latency histograms land in the ambient sink and the process totals *)
+  (match
+     Qe_obs.Metrics.find
+       (Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics)
+       "pool.task_latency"
+   with
+  | Some (Qe_obs.Metrics.Hist { count; lo; hi; _ }) ->
+      Alcotest.(check int) "ambient task latency count" 8 count;
+      Alcotest.(check bool) "envelope sane" true (lo >= 0 && hi >= lo)
+  | _ -> Alcotest.fail "pool.task_latency missing from ambient sink");
+  let g = Pool.metrics_snapshot () in
+  (match Qe_obs.Metrics.find g "pool.tasks" with
+  | Some (Qe_obs.Metrics.Counter n) ->
+      Alcotest.(check int) "global pool.tasks" 8 n
+  | _ -> Alcotest.fail "pool.tasks missing from metrics_snapshot");
+  match Qe_obs.Metrics.find g "pool.task_latency" with
+  | Some (Qe_obs.Metrics.Hist { count; _ }) ->
+      Alcotest.(check int) "global task latency count" 8 count
+  | _ -> Alcotest.fail "pool.task_latency missing from metrics_snapshot"
+
 let () =
   Alcotest.run "par"
     [
@@ -482,6 +557,8 @@ let () =
             test_pool_steal;
           Alcotest.test_case "edge cases (empty, len < jobs)" `Quick
             test_pool_edge_cases;
+          Alcotest.test_case "batch spans + latency" `Quick
+            test_pool_batch_spans;
         ] );
       ( "determinism",
         [
