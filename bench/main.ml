@@ -856,7 +856,7 @@ let sigma_explorer () =
 
 (* Bumped once per PR that changes the perf landscape; the emitted
    BENCH_<n>.json files at the repo root form the tracked trajectory. *)
-let bench_revision = 7
+let bench_revision = 8
 
 (* Sections deposit their numbers here and every write re-emits all of
    them, so `bench perf par-scaling cache` composes one complete
@@ -866,6 +866,7 @@ let recorded_leaves : (string * int) list ref = ref []
 let recorded_scaling : (string * float) list ref = ref []
 let recorded_cache : (string * float) list ref = ref []
 let recorded_exposition : (string * float) list ref = ref []
+let recorded_resilience : (string * float) list ref = ref []
 
 let write_bench_json path =
   let buf = Buffer.create 1024 in
@@ -899,6 +900,9 @@ let write_bench_json path =
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"exposition\": {\n";
   obj "%S: %.3f" !recorded_exposition;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"resilience\": {\n";
+  obj "%S: %.3f" !recorded_resilience;
   Buffer.add_string buf "  }\n}\n";
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
@@ -1683,6 +1687,138 @@ let exposition () =
     exit 1
   end
 
+(* ---------- resilience: the supervised harness must be free when calm ---------- *)
+
+let resilience () =
+  section
+    "Resilience: supervised sweep overhead and self-healing under harness \
+     chaos";
+  print_endline
+    "the same -j 4 sweep three ways. 'plain' is Campaign.sweep; \n\
+     'supervised' arms the self-healing harness (deadline + retry +\n\
+     quarantine) with no faults, so its cost is one claim/settle\n\
+     handshake per task and a 2 ms monitor poll — it must sit within\n\
+     noise of plain. The chaos rows then inject task kills and show the\n\
+     harness retrying everything to completion, and quarantining the\n\
+     tasks a tighter attempt budget cannot save.\n";
+  let module Supervisor = Qe_par.Supervisor in
+  let module HChaos = Qe_par.Harness_chaos in
+  let fails = ref [] in
+  let suite = sym_suite () in
+  let seeds = List.init 4 Fun.id in
+  let strip_wall row =
+    match String.rindex_opt row ',' with
+    | Some i -> String.sub row 0 i
+    | None -> row
+  in
+  let time f =
+    let t0 = Qe_obs.Clock.now_ns () in
+    let r = Sys.opaque_identity (f ()) in
+    (float_of_int (Qe_obs.Clock.now_ns () - t0), r)
+  in
+  let median l =
+    let a = Array.of_list l in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  in
+  let plain () =
+    Campaign.sweep ~seeds ~jobs:4 ~expected:Campaign.elect_expected
+      Elect.protocol suite
+  in
+  let policy =
+    Supervisor.policy ~deadline_ns:30_000_000_000 ~max_attempts:3 ()
+  in
+  let hardened ?harness_chaos ?(policy = policy) () =
+    Campaign.sweep_hardened ~seeds ~jobs:4 ~supervise:policy ?harness_chaos
+      ~expected:Campaign.elect_expected Elect.protocol suite
+  in
+  (* warm the artifact cache once so every timed rep runs warm *)
+  let baseline = plain () in
+  let reps = 5 in
+  let t_plain =
+    median (List.init reps (fun _ -> fst (time plain)))
+  in
+  let t_hard, (rows, summary) =
+    let timed = List.init reps (fun _ -> time (hardened ?harness_chaos:None)) in
+    (median (List.map fst timed), snd (List.hd timed))
+  in
+  let ratio = t_hard /. t_plain in
+  print_table
+    [ "configuration"; "sweep wall"; "vs plain" ]
+    [
+      [ "plain"; Printf.sprintf "%8.1f ms" (t_plain /. 1e6); "1.00x" ];
+      [
+        "supervised";
+        Printf.sprintf "%8.1f ms" (t_hard /. 1e6);
+        Printf.sprintf "%.2fx" ratio;
+      ];
+    ];
+  (* the supervised rows are the plain records, byte-for-byte modulo
+     the wall_ns column *)
+  let plain_rows = List.map (fun r -> strip_wall (Campaign.csv_row r)) baseline
+  and hard_rows =
+    List.map (fun (r : Campaign.sweep_row) -> strip_wall r.s_csv) rows
+  in
+  if plain_rows <> hard_rows then
+    fails := "supervised sweep rows differ from plain sweep" :: !fails;
+  if summary.Campaign.h_retries <> 0 || summary.Campaign.h_quarantined <> []
+  then fails := "fault-free supervised sweep reported faults" :: !fails;
+  (* generous for loaded CI boxes, same spirit as the fault-overhead
+     gate: a structural regression (per-task domain spawn, busy monitor)
+     costs integer multiples, not percents *)
+  if ratio > 1.50 then
+    fails :=
+      Printf.sprintf "supervised overhead %.2fx > 1.50x over plain" ratio
+      :: !fails;
+  (* 2. self-healing: kill ~30%% of task attempts; every task must still
+     complete (retries absorb the kills), and the output still matches *)
+  let chaos = HChaos.make ~kill_rate:0.3 ~seed:42 () in
+  let heal_policy = Supervisor.policy ~max_attempts:10 () in
+  let rows_chaos, sum_chaos =
+    hardened ~harness_chaos:chaos ~policy:heal_policy ()
+  in
+  Printf.printf
+    "\nself-healing: kill_rate=0.3 -> %d/%d tasks completed after %d retries\n"
+    sum_chaos.Campaign.h_ran sum_chaos.Campaign.h_tasks
+    sum_chaos.Campaign.h_retries;
+  if List.map (fun (r : Campaign.sweep_row) -> strip_wall r.s_csv) rows_chaos
+     <> plain_rows
+  then fails := "chaos-survivor rows differ from plain sweep" :: !fails;
+  if sum_chaos.Campaign.h_retries = 0 then
+    fails := "kill_rate=0.3 fired no retries" :: !fails;
+  if sum_chaos.Campaign.h_quarantined <> [] then
+    fails := "max_attempts=10 still quarantined a task" :: !fails;
+  (* 3. quarantine: a two-attempt budget under heavier fire loses some
+     tasks — but only those; the rest of the sweep completes *)
+  let storm = HChaos.make ~kill_rate:0.5 ~seed:2 () in
+  let tight = Supervisor.policy ~max_attempts:2 () in
+  let rows_q, sum_q = hardened ~harness_chaos:storm ~policy:tight () in
+  let quarantined = List.length sum_q.Campaign.h_quarantined in
+  Printf.printf
+    "quarantine: kill_rate=0.5, max_attempts=2 -> %d quarantined, %d/%d \
+     completed\n"
+    quarantined (List.length rows_q) sum_q.Campaign.h_tasks;
+  if quarantined = 0 then
+    fails := "storm quarantined nothing (seed drift?)" :: !fails;
+  if List.length rows_q + quarantined <> sum_q.Campaign.h_tasks then
+    fails := "quarantine lost rows beyond the quarantined tasks" :: !fails;
+  recorded_resilience :=
+    [
+      ("plain-sweep-ms", t_plain /. 1e6);
+      ("supervised-sweep-ms", t_hard /. 1e6);
+      ("supervised-overhead", ratio);
+      ("healed-retries", float_of_int sum_chaos.Campaign.h_retries);
+      ("storm-quarantined", float_of_int quarantined);
+      ("storm-completed", float_of_int (List.length rows_q));
+    ];
+  let out = Printf.sprintf "BENCH_%d.json" bench_revision in
+  write_bench_json out;
+  Printf.printf "wrote %s\n" out;
+  if !fails <> [] then begin
+    List.iter (fun m -> Printf.printf "FAIL: %s\n" m) !fails;
+    exit 1
+  end
+
 (* ---------- driver ---------- *)
 
 let sections =
@@ -1706,6 +1842,7 @@ let sections =
     ("par-scaling", par_scaling);
     ("cache", cache_bench);
     ("exposition", exposition);
+    ("resilience", resilience);
   ]
 
 let () =

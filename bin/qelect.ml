@@ -114,6 +114,7 @@ let exit_deadlock = 4
 let exit_stuck = 5 (* step limit or watchdog timeout *)
 let exit_inconsistent = 6
 let exit_chaos_violation = 7
+let exit_quarantined = 8
 
 let outcome_exit_code = ref 0
 
@@ -554,6 +555,7 @@ let with_metrics_server port f =
               campaign_source;
               Cache.metrics_snapshot;
               Qe_par.Pool.metrics_snapshot;
+              Qe_par.Supervisor.metrics_snapshot;
             ]
           ()
       in
@@ -563,10 +565,55 @@ let with_metrics_server port f =
         ~finally:(fun () -> Qe_obs.Expose.stop srv)
         (fun () -> f (Some push))
 
-let sweep_cmd protocol seeds jobs no_cache stats metrics_port =
+(* --task-deadline/--task-retries/--harness-chaos -> supervision setup.
+   Shared by sweep and chaos. The harness-chaos rates are fixed and
+   documented: what varies (and what determinism is keyed on) is the
+   seed. *)
+let supervision_of_flags ~task_deadline_ms ~task_retries ~harness_chaos =
+  let supervise =
+    Qe_par.Supervisor.policy
+      ?deadline_ns:
+        (if task_deadline_ms > 0 then Some (task_deadline_ms * 1_000_000)
+         else None)
+      ~max_attempts:(max 1 task_retries) ()
+  in
+  let chaos =
+    Option.map
+      (fun seed ->
+        Qe_par.Harness_chaos.make ~kill_rate:0.05 ~delay_rate:0.05
+          ~delay_ns:2_000_000 ~seed ())
+      harness_chaos
+  in
+  (supervise, chaos)
+
+let report_supervision summary oc =
+  let open Campaign in
+  if summary.h_replayed > 0 then
+    Printf.fprintf oc "# resumed: %d/%d tasks replayed from checkpoint\n"
+      summary.h_replayed summary.h_tasks;
+  if
+    summary.h_retries > 0 || summary.h_timeouts > 0 || summary.h_replaced > 0
+    || summary.h_degraded
+  then
+    Printf.fprintf oc
+      "# supervisor: retries=%d timeouts=%d workers-replaced=%d degraded=%b\n"
+      summary.h_retries summary.h_timeouts summary.h_replaced
+      summary.h_degraded;
+  if summary.h_quarantined <> [] then begin
+    List.iter
+      (fun (idx, label) ->
+        Printf.fprintf oc "# quarantined: task %d (%s)\n" idx label)
+      summary.h_quarantined;
+    outcome_exit_code := exit_quarantined
+  end
+
+let sweep_cmd protocol seeds jobs no_cache stats metrics_port checkpoint
+    resume task_deadline task_retries harness_chaos =
   try
     if no_cache then Cache.set_enabled false;
     Cache.reset_stats ();
+    if resume && checkpoint = None then
+      failwith "--resume needs --checkpoint FILE";
     let proto, expected =
       match protocol with
       | "elect" -> (Qe_elect.Elect.protocol, Campaign.elect_expected)
@@ -583,24 +630,44 @@ let sweep_cmd protocol seeds jobs no_cache stats metrics_port =
        which -j produced it *)
     Printf.eprintf "# jobs: %d (cores: %d)\n" jobs
       (Domain.recommended_domain_count ());
+    let supervise, hchaos =
+      supervision_of_flags ~task_deadline_ms:task_deadline
+        ~task_retries ~harness_chaos
+    in
     with_metrics_server metrics_port (fun live ->
-        let records =
-          Campaign.sweep ~seeds ~jobs ?live ~expected proto (Campaign.zoo ())
+        let rows, summary =
+          Campaign.sweep_hardened ~seeds ~jobs ?live ~supervise
+            ?harness_chaos:hchaos ?checkpoint ~resume ~expected proto
+            (Campaign.zoo ())
         in
         print_endline Campaign.csv_header;
-        List.iter (fun r -> print_endline (Campaign.csv_row r)) records;
-        let ok, total = Campaign.conformance_rate records in
-        Printf.eprintf "# conformance: %d/%d\n" ok total);
+        List.iter (fun row -> print_endline row.Campaign.s_csv) rows;
+        let ok =
+          List.length (List.filter (fun r -> r.Campaign.s_conforms) rows)
+        in
+        Printf.eprintf "# conformance: %d/%d\n" ok (List.length rows);
+        report_supervision summary stderr);
     if stats then print_cache_stats stderr;
     `Ok ()
   with Failure msg -> `Error (false, msg)
 
 (* ---------- chaos ---------- *)
 
-let chaos_cmd protocol seeds trace_out jobs no_cache stats metrics_port =
+let chaos_cmd protocol seeds trace_out jobs no_cache stats metrics_port
+    checkpoint resume task_deadline task_retries harness_chaos =
   try
     if no_cache then Cache.set_enabled false;
     Cache.reset_stats ();
+    if resume && checkpoint = None then
+      failwith "--resume needs --checkpoint FILE";
+    let hardened =
+      checkpoint <> None || harness_chaos <> None || task_deadline > 0
+    in
+    if hardened && trace_out <> None then
+      failwith
+        "--trace-out cannot be combined with \
+         --checkpoint/--harness-chaos/--task-deadline (the hardened path \
+         has no trace sink)";
     let proto =
       match protocol with
       | "elect" -> Qe_elect.Elect.protocol
@@ -626,8 +693,22 @@ let chaos_cmd protocol seeds trace_out jobs no_cache stats metrics_port =
     in
     let report =
       with_metrics_server metrics_port (fun live ->
-          Campaign.chaos_sweep ~seeds ?obs ~jobs ?live
-            ~expected:Campaign.elect_expected proto (Campaign.zoo ()))
+          if hardened then begin
+            let supervise, hchaos =
+              supervision_of_flags ~task_deadline_ms:task_deadline
+                ~task_retries ~harness_chaos
+            in
+            let report, summary =
+              Campaign.chaos_sweep_hardened ~seeds ~jobs ?live ~supervise
+                ?harness_chaos:hchaos ?checkpoint ~resume
+                ~expected:Campaign.elect_expected proto (Campaign.zoo ())
+            in
+            report_supervision summary stdout;
+            report
+          end
+          else
+            Campaign.chaos_sweep ~seeds ?obs ~jobs ?live
+              ~expected:Campaign.elect_expected proto (Campaign.zoo ()))
     in
     Option.iter close_out oc;
     Printf.printf "runs: %d (%d with zero faults fired)\n"
@@ -815,11 +896,67 @@ let metrics_port_arg =
            including latency histograms with quantile summaries."
         ~docv:"PORT")
 
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ]
+        ~doc:
+          "Journal every completed run to $(docv) (crash-safe JSONL: \
+           temp-file+rename creation, append+flush per record, torn tails \
+           tolerated). With $(b,--resume), replay the journal and execute \
+           only the missing work — the final output is identical to an \
+           uninterrupted run."
+        ~docv:"FILE")
+
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Resume from the $(b,--checkpoint) journal instead of starting \
+           fresh. The journal must describe this exact campaign (protocol, \
+           instances, strategies, seeds) or the command fails.")
+
+let task_deadline_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "task-deadline" ]
+        ~doc:
+          "Per-task wall-clock deadline in milliseconds (0 = none). An \
+           attempt that overruns is timed out and retried with backoff; \
+           its worker domain is written off as wedged and replaced, \
+           degrading to inline execution if replacements keep dying."
+        ~docv:"MS")
+
+let task_retries_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "task-retries" ]
+        ~doc:
+          "Attempts per task before it is quarantined (>= 1). A \
+           quarantined task is reported and skipped; the campaign exits 8 \
+           but completes all other work."
+        ~docv:"N")
+
+let harness_chaos_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "harness-chaos" ]
+        ~doc:
+          "Inject seeded faults into the harness itself (5% task kills, \
+           5% delays per attempt) to exercise the supervisor. Fault \
+           placement is a pure function of ($(docv), task, attempt) — \
+           deterministic at any -j."
+        ~docv:"SEED")
+
 let sweep_term =
   Term.(
     ret
       (const sweep_cmd $ protocol_arg $ seeds_arg $ jobs_arg $ no_cache_arg
-     $ cache_stats_arg $ metrics_port_arg))
+     $ cache_stats_arg $ metrics_port_arg $ checkpoint_arg $ resume_arg
+     $ task_deadline_arg $ task_retries_arg $ harness_chaos_arg))
 
 let chaos_seeds_arg =
   Arg.(
@@ -838,7 +975,8 @@ let chaos_term =
   Term.(
     ret (const chaos_cmd $ protocol_arg $ chaos_seeds_arg
        $ chaos_trace_out_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
-       $ metrics_port_arg))
+       $ metrics_port_arg $ checkpoint_arg $ resume_arg $ task_deadline_arg
+       $ task_retries_arg $ harness_chaos_arg))
 
 let run_exits =
   Cmd.Exit.info exit_deadlock ~doc:"The run ended in a deadlock."
@@ -852,10 +990,18 @@ let run_exits =
           fault-induced divergence)."
   :: Cmd.Exit.defaults
 
+let quarantine_exit =
+  Cmd.Exit.info exit_quarantined
+    ~doc:
+      "At least one task exhausted its retry budget and was quarantined; \
+       all other tasks completed."
+
+let sweep_exits = quarantine_exit :: Cmd.Exit.defaults
+
 let chaos_exits =
   Cmd.Exit.info exit_chaos_violation
     ~doc:"At least one chaos run violated a safety invariant."
-  :: Cmd.Exit.defaults
+  :: quarantine_exit :: Cmd.Exit.defaults
 
 let cmds =
   [
@@ -880,8 +1026,13 @@ let cmds =
       (Cmd.info "save" ~doc:"Write an instance to a qelect-instance file")
       save_term;
     Cmd.v
-      (Cmd.info "sweep"
-         ~doc:"Run the full conformance matrix and print CSV records")
+      (Cmd.info "sweep" ~exits:sweep_exits
+         ~doc:
+           "Run the full conformance matrix and print CSV records. Runs \
+            under a supervised pool: failing tasks are retried with seeded \
+            backoff and finally quarantined (exit 8) instead of aborting \
+            the sweep; $(b,--checkpoint)/$(b,--resume) make the campaign \
+            survive kill -9 with bit-identical output.")
       sweep_term;
     Cmd.v
       (Cmd.info "chaos" ~exits:chaos_exits

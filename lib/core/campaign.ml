@@ -726,3 +726,348 @@ let chaos_sweep ?(seeds = 8) ?(strategies = strategies)
     c_jobs = jobs;
     c_cores = Domain.recommended_domain_count ();
   }
+
+(* ---------- hardened campaigns: supervision + checkpoint ---------- *)
+
+module Supervisor = Qe_par.Supervisor
+module J = Qe_obs.Jsonl
+
+type sweep_row = {
+  s_idx : int;
+  s_csv : string;
+  s_conforms : bool;
+  s_replayed : bool;
+}
+
+type hardened_summary = {
+  h_tasks : int;
+  h_replayed : int;
+  h_ran : int;
+  h_quarantined : (int * string) list;
+  h_retries : int;
+  h_timeouts : int;
+  h_replaced : int;
+  h_degraded : bool;
+}
+
+(* Replay the journal (if resuming) and open it for appends. The header
+   meta pins the exact task matrix: protocol, instance list, strategy
+   list, seed set — resuming under different arguments must fail, not
+   silently merge two different sweeps. *)
+let checkpoint_setup ~checkpoint ~resume ~meta ~len =
+  let replayed = Hashtbl.create 97 in
+  let journal =
+    match checkpoint with
+    | None -> None
+    | Some path ->
+        if resume && Sys.file_exists path then begin
+          List.iter
+            (fun (i, v) ->
+              if i >= 0 && i < len then Hashtbl.replace replayed i v)
+            (Checkpoint.load ~path ~meta);
+          Some (Checkpoint.resume ~path ~meta)
+        end
+        else Some (Checkpoint.create ~path ~meta)
+  in
+  (replayed, journal)
+
+let summary_of_totals ~len ~replayed_n ~quarantined ~(t0 : Supervisor.totals)
+    ~(t1 : Supervisor.totals) =
+  {
+    h_tasks = len;
+    h_replayed = replayed_n;
+    h_ran = len - replayed_n;
+    h_quarantined = quarantined;
+    h_retries = t1.Supervisor.retries - t0.Supervisor.retries;
+    h_timeouts = t1.Supervisor.timeouts - t0.Supervisor.timeouts;
+    h_replaced = t1.Supervisor.replaced - t0.Supervisor.replaced;
+    h_degraded = t1.Supervisor.degraded > t0.Supervisor.degraded;
+  }
+
+let sweep_hardened ?(seeds = [ 0; 1 ]) ?(strategies = strategies) ?(jobs = 1)
+    ?live ?(supervise = Supervisor.policy ()) ?harness_chaos ?checkpoint
+    ?(resume = false) ~expected proto instances =
+  let jobs = resolve_jobs jobs in
+  prewarm instances;
+  let tasks =
+    List.concat_map
+      (fun inst ->
+        let expected_elected = expected inst in
+        List.concat_map
+          (fun strat ->
+            List.map (fun seed -> (inst, strat, seed, expected_elected)) seeds)
+          strategies)
+      instances
+    |> Array.of_list
+  in
+  let len = Array.length tasks in
+  let meta =
+    [
+      ("mode", J.String "sweep");
+      ("protocol", J.String proto.Protocol.name);
+      ("tasks", J.Int len);
+      ("seeds", J.String (String.concat "," (List.map string_of_int seeds)));
+      ("strategies", J.String (String.concat "," (List.map fst strategies)));
+      ( "instances",
+        J.String (String.concat "," (List.map (fun i -> i.name) instances)) );
+    ]
+  in
+  let replayed, journal = checkpoint_setup ~checkpoint ~resume ~meta ~len in
+  let todo =
+    Array.of_list
+      (List.filter_map
+         (fun idx ->
+           if Hashtbl.mem replayed idx then None else Some (idx, tasks.(idx)))
+         (List.init len Fun.id))
+  in
+  let t0 = Supervisor.totals () in
+  let reports =
+    Supervisor.map ~policy:supervise ?chaos:harness_chaos ~jobs
+      ~f:(fun _ (idx, (inst, strat, seed, expected_elected)) ->
+        let r =
+          match live with
+          | None -> run_one ~strategy:strat ~seed ~expected_elected inst proto
+          | Some push ->
+              let sink = Qe_obs.Sink.create () in
+              let r =
+                Qe_obs.Sink.with_ambient sink (fun () ->
+                    run_one ~strategy:strat ~obs:sink ~seed ~expected_elected
+                      inst proto)
+              in
+              push (Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics);
+              r
+        in
+        (* journal at completion time: a kill -9 any time after this
+           line loses nothing of the task *)
+        Option.iter
+          (fun j ->
+            Checkpoint.append j idx
+              [ ("row", J.String (csv_row r)); ("conforms", J.Bool r.conforms) ])
+          journal;
+        r)
+      todo
+  in
+  Option.iter Checkpoint.close journal;
+  let t1 = Supervisor.totals () in
+  let fresh = Hashtbl.create 97 in
+  Array.iteri
+    (fun k rep ->
+      let idx, _ = todo.(k) in
+      Hashtbl.replace fresh idx rep)
+    reports;
+  let rows = ref [] in
+  let quarantined = ref [] in
+  for idx = len - 1 downto 0 do
+    match Hashtbl.find_opt replayed idx with
+    | Some v ->
+        let csv =
+          Option.value ~default:""
+            (Option.bind (J.member "row" v) J.to_str)
+        in
+        let conforms =
+          match J.member "conforms" v with Some (J.Bool b) -> b | _ -> false
+        in
+        rows :=
+          { s_idx = idx; s_csv = csv; s_conforms = conforms; s_replayed = true }
+          :: !rows
+    | None -> (
+        match Hashtbl.find_opt fresh idx with
+        | None -> ()
+        | Some rep -> (
+            match Supervisor.value rep with
+            | Some r ->
+                rows :=
+                  {
+                    s_idx = idx;
+                    s_csv = csv_row r;
+                    s_conforms = r.conforms;
+                    s_replayed = false;
+                  }
+                  :: !rows
+            | None ->
+                let inst, (sname, _), seed, _ = tasks.(idx) in
+                quarantined :=
+                  (idx, Printf.sprintf "%s/%s/seed%d" inst.name sname seed)
+                  :: !quarantined))
+  done;
+  ( !rows,
+    summary_of_totals ~len ~replayed_n:(Hashtbl.length replayed)
+      ~quarantined:!quarantined ~t0 ~t1 )
+
+let kind_of_name s = List.find_opt (fun k -> FKind.name k = s) FKind.all
+
+let chaos_sweep_hardened ?(seeds = 8) ?(strategies = strategies)
+    ?(watchdog = default_chaos_watchdog) ?(jobs = 1) ?live
+    ?(supervise = Supervisor.policy ()) ?harness_chaos ?checkpoint
+    ?(resume = false) ~expected proto instances =
+  let jobs = resolve_jobs jobs in
+  prewarm instances;
+  let tasks =
+    List.concat_map
+      (fun seed ->
+        let plans =
+          [
+            ("chaos", FPlan.chaos ~seed); ("crash-only", FPlan.crash_only ~seed);
+          ]
+        in
+        List.concat_map
+          (fun inst ->
+            let expected_elected = expected inst in
+            List.concat_map
+              (fun strategy ->
+                List.map
+                  (fun (plan_kind, plan) ->
+                    (seed, inst, expected_elected, strategy, plan_kind, plan))
+                  plans)
+              strategies)
+          instances)
+      (List.init seeds Fun.id)
+    |> Array.of_list
+  in
+  let len = Array.length tasks in
+  let meta =
+    [
+      ("mode", J.String "chaos");
+      ("protocol", J.String proto.Protocol.name);
+      ("tasks", J.Int len);
+      ("seeds", J.Int seeds);
+      ("strategies", J.String (String.concat "," (List.map fst strategies)));
+      ( "instances",
+        J.String (String.concat "," (List.map (fun i -> i.name) instances)) );
+    ]
+  in
+  let replayed, journal = checkpoint_setup ~checkpoint ~resume ~meta ~len in
+  let todo =
+    Array.of_list
+      (List.filter_map
+         (fun idx ->
+           if Hashtbl.mem replayed idx then None else Some (idx, tasks.(idx)))
+         (List.init len Fun.id))
+  in
+  let t0 = Supervisor.totals () in
+  let reports =
+    Supervisor.map ~policy:supervise ?chaos:harness_chaos ~jobs
+      ~f:(fun _ (idx, (seed, inst, expected_elected, strategy, plan_kind, plan))
+         ->
+        let r =
+          match live with
+          | None ->
+              chaos_run ~strategy ~seed ~watchdog ~plan_kind ~plan
+                ~expected_elected inst proto
+          | Some push ->
+              let sink = Qe_obs.Sink.create () in
+              let r =
+                chaos_run ~obs:sink ~strategy ~seed ~watchdog ~plan_kind ~plan
+                  ~expected_elected inst proto
+              in
+              push (Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics);
+              r
+        in
+        (* violating runs are deliberately not journaled: a resume must
+           re-run them and re-surface the (typed) violations *)
+        if r.c_violations = [] then
+          Option.iter
+            (fun j ->
+              Checkpoint.append j idx
+                [
+                  ("outcome", J.String (outcome_label r.c_outcome));
+                  ( "faults",
+                    J.List
+                      (List.map
+                         (fun (k, n) -> J.List [ J.String (FKind.name k); J.Int n ])
+                         r.c_faults) );
+                  ("leaders", J.Int r.c_leaders);
+                  ("turns", J.Int r.c_turns);
+                ])
+            journal;
+        r)
+      todo
+  in
+  Option.iter Checkpoint.close journal;
+  let t1 = Supervisor.totals () in
+  let fresh = Hashtbl.create 97 in
+  Array.iteri
+    (fun k rep ->
+      let idx, _ = todo.(k) in
+      Hashtbl.replace fresh idx rep)
+    reports;
+  (* the merged view: one (label, faults) per settled task, in canonical
+     matrix order, sourced from the journal or from this run — the
+     aggregates below are computed over it so a resumed sweep prints
+     exactly what the uninterrupted one would *)
+  let quarantined = ref [] in
+  let views = ref [] in
+  let records = ref [] in
+  for idx = len - 1 downto 0 do
+    match Hashtbl.find_opt replayed idx with
+    | Some v ->
+        let label =
+          Option.value ~default:"?"
+            (Option.bind (J.member "outcome" v) J.to_str)
+        in
+        let faults =
+          match J.member "faults" v with
+          | Some (J.List l) ->
+              List.filter_map
+                (function
+                  | J.List [ J.String name; J.Int n ] ->
+                      Option.map (fun k -> (k, n)) (kind_of_name name)
+                  | _ -> None)
+                l
+          | _ -> []
+        in
+        views := (label, faults) :: !views
+    | None -> (
+        match Hashtbl.find_opt fresh idx with
+        | None -> ()
+        | Some rep -> (
+            match Supervisor.value rep with
+            | Some r ->
+                records := r :: !records;
+                views := (outcome_label r.c_outcome, r.c_faults) :: !views
+            | None ->
+                let _, inst, _, (sname, _), plan_kind, _ = tasks.(idx) in
+                quarantined :=
+                  (idx, Printf.sprintf "%s/%s/%s" inst.name sname plan_kind)
+                  :: !quarantined))
+  done;
+  let views = !views in
+  let by_kind =
+    List.filter_map
+      (fun k ->
+        let n =
+          List.fold_left
+            (fun acc (_, faults) ->
+              acc
+              + (match List.assoc_opt k faults with Some n -> n | None -> 0))
+            0 views
+        in
+        if n > 0 then Some (k, n) else None)
+      FKind.all
+  in
+  let outcomes =
+    List.fold_left
+      (fun acc (l, _) ->
+        let n = match List.assoc_opt l acc with Some n -> n | None -> 0 in
+        (l, n + 1) :: List.remove_assoc l acc)
+      [] views
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let report =
+    {
+      c_records = !records;
+      c_runs = List.length views;
+      c_faults_fired = List.fold_left (fun acc (_, n) -> acc + n) 0 by_kind;
+      c_by_kind = by_kind;
+      c_outcomes = outcomes;
+      c_zero_fault_runs =
+        List.length (List.filter (fun (_, faults) -> faults = []) views);
+      c_violating = List.filter (fun r -> r.c_violations <> []) !records;
+      c_metrics = [];
+      c_jobs = jobs;
+      c_cores = Domain.recommended_domain_count ();
+    }
+  in
+  ( report,
+    summary_of_totals ~len ~replayed_n:(Hashtbl.length replayed)
+      ~quarantined:!quarantined ~t0 ~t1 )

@@ -245,3 +245,84 @@ val chaos_sweep :
     [jobs:1] (a private per-run sink if no [obs] is attached). A
     [Timeout] in one task is an ordinary outcome and never
     disturbs the other domains. *)
+
+(** {1 Hardened campaigns}
+
+    The self-healing variants behind [qelect sweep/chaos
+    --checkpoint/--resume]: the task matrix runs on
+    {!Qe_par.Supervisor} instead of the bare pool (per-task outcomes,
+    deadline/retry/backoff, quarantine, worker replacement), every
+    completed task is journaled to a crash-safe {!Checkpoint}, and a
+    resumed run replays the journal and executes only the missing
+    indices. Because each task is deterministic per index, the final
+    output is identical whether the sweep ran once or was [kill -9]ed
+    and resumed arbitrarily often, at any job count (modulo [wall_ns],
+    which is wall clock by definition). *)
+
+type sweep_row = {
+  s_idx : int;  (** position in the canonical task matrix *)
+  s_csv : string;  (** {!csv_row} of the record *)
+  s_conforms : bool;
+  s_replayed : bool;  (** [true]: restored from the checkpoint *)
+}
+
+type hardened_summary = {
+  h_tasks : int;  (** matrix size *)
+  h_replayed : int;  (** tasks skipped thanks to the checkpoint *)
+  h_ran : int;  (** tasks executed (and settled) this run *)
+  h_quarantined : (int * string) list;
+      (** tasks that exhausted their attempts: (index, "inst/strat/seed"
+          label). Quarantined tasks yield no row and are never
+          journaled, so a later [--resume] retries them. *)
+  h_retries : int;
+  h_timeouts : int;
+  h_replaced : int;  (** worker domains written off and replaced *)
+  h_degraded : bool;  (** the batch fell back to inline execution *)
+}
+
+val sweep_hardened :
+  ?seeds:int list ->
+  ?strategies:(string * Qe_runtime.Engine.strategy) list ->
+  ?jobs:int ->
+  ?live:(Qe_obs.Metrics.snapshot -> unit) ->
+  ?supervise:Qe_par.Supervisor.policy ->
+  ?harness_chaos:Qe_par.Harness_chaos.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  expected:(instance -> bool) ->
+  Qe_runtime.Protocol.t ->
+  instance list ->
+  sweep_row list * hardened_summary
+(** {!sweep} under supervision. Rows come back in canonical matrix
+    order, replayed and fresh interleaved; a quarantined task
+    contributes no row (callers should exit non-zero — see
+    [qelect]'s exit code 8). [checkpoint] names the journal;
+    [resume] (default false) replays it first — the journal's header
+    must describe this exact matrix or the load fails loudly.
+    [harness_chaos] injects faults into the {e runner} (tests and the
+    resilience bench only). [supervise] defaults to
+    {!Qe_par.Supervisor.policy}[ ()]: 3 attempts, no deadline. *)
+
+val chaos_sweep_hardened :
+  ?seeds:int ->
+  ?strategies:(string * Qe_runtime.Engine.strategy) list ->
+  ?watchdog:Qe_fault.Watchdog.t ->
+  ?jobs:int ->
+  ?live:(Qe_obs.Metrics.snapshot -> unit) ->
+  ?supervise:Qe_par.Supervisor.policy ->
+  ?harness_chaos:Qe_par.Harness_chaos.t ->
+  ?checkpoint:string ->
+  ?resume:bool ->
+  expected:(instance -> bool) ->
+  Qe_runtime.Protocol.t ->
+  instance list ->
+  chaos_report * hardened_summary
+(** {!chaos_sweep} under supervision with a checkpoint. The report's
+    aggregate fields ([c_runs], [c_by_kind], [c_outcomes], ...) are
+    computed over the {e merged} view — journal replays plus fresh
+    runs, in canonical order — so a resumed sweep prints the same
+    summary as an uninterrupted one. [c_records] holds only the fresh
+    records; runs with violations are never journaled (they re-run, and
+    re-report, on resume) so [c_violating] is complete either way.
+    [c_metrics] is [[]] (no trace sink on the hardened path — the CLI
+    refuses [--trace-out] together with [--checkpoint]). *)

@@ -1,0 +1,103 @@
+(* Append-only JSONL journal with a temp-file+rename birth and a
+   lenient tail decode: the two ingredients that make it survive
+   kill -9 at any instant. *)
+
+module J = Qe_obs.Jsonl
+
+type t = { path : string; oc : out_channel; m : Mutex.t }
+
+let header_key = "qelect-checkpoint"
+let header_version = 1
+
+let header_line meta =
+  J.to_string (J.Obj ((header_key, J.Int header_version) :: meta))
+
+let create ~path ~meta =
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir "ckpt" ".tmp" in
+  let oc = open_out tmp in
+  output_string oc (header_line meta);
+  output_char oc '\n';
+  flush oc;
+  close_out oc;
+  (* the rename is the commit point: either the journal exists with its
+     header intact, or it does not exist *)
+  Sys.rename tmp path;
+  let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+  { path; oc; m = Mutex.create () }
+
+let append t i payload =
+  let line = J.to_string (J.Obj (("i", J.Int i) :: payload)) in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () ->
+      output_string t.oc line;
+      output_char t.oc '\n';
+      flush t.oc)
+
+let close t =
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () -> close_out t.oc)
+
+let check_header ~path ~meta line =
+  match J.of_string line with
+  | Error e -> failwith (Printf.sprintf "%s: unreadable checkpoint header (%s)" path e)
+  | Ok hdr -> (
+      match J.member header_key hdr with
+      | Some (J.Int v) when v = header_version ->
+          List.iter
+            (fun (k, want) ->
+              match J.member k hdr with
+              | Some got when got = want -> ()
+              | _ ->
+                  failwith
+                    (Printf.sprintf
+                       "%s: checkpoint was written by a different sweep \
+                        (field %S: journal has %s, this run needs %s)"
+                       path k
+                       (match J.member k hdr with
+                       | Some v -> J.to_string v
+                       | None -> "nothing")
+                       (J.to_string want)))
+            meta
+      | Some (J.Int v) ->
+          failwith
+            (Printf.sprintf "%s: checkpoint version %d, this build reads %d"
+               path v header_version)
+      | _ -> failwith (Printf.sprintf "%s: not a qelect checkpoint" path))
+
+let load ~path ~meta =
+  let ic =
+    try open_in path
+    with Sys_error e -> failwith (Printf.sprintf "cannot open checkpoint: %s" e)
+  in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match input_line ic with
+      | exception End_of_file -> failwith (Printf.sprintf "%s: empty checkpoint" path)
+      | line -> check_header ~path ~meta line);
+      let rec entries acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            (* a torn tail (crash mid-append) is expected: stop at the
+               first line that does not decode to a journal entry *)
+            match J.of_string line with
+            | Error _ -> List.rev acc
+            | Ok v -> (
+                match Option.bind (J.member "i" v) J.to_int with
+                | Some i -> entries ((i, v) :: acc)
+                | None -> List.rev acc))
+      in
+      entries [])
+
+let resume ~path ~meta =
+  (* validate before reopening for append, so a wrong-sweep journal is
+     refused untouched *)
+  ignore (load ~path ~meta : (int * J.value) list);
+  let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+  { path; oc; m = Mutex.create () }

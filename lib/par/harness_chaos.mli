@@ -1,0 +1,82 @@
+(** Fault injection for the harness itself.
+
+    {!Qe_fault} attacks the {e simulated} agents; this module attacks
+    the {e runner}: tasks handed to {!Supervisor} can be killed (the
+    attempt raises), delayed (the attempt starts late) or wedged (the
+    attempt blocks as if the worker domain hung). It exists so the test
+    suite and the resilience bench can turn the adversary on the
+    supervision layer and check that retries, deadlines and quarantine
+    actually deliver.
+
+    {b Determinism.} A plan's decision for (task, attempt) is a pure
+    function of [(seed, task, attempt)] — each decision draws from a
+    private [Random.State] reseeded from those three values, never from
+    a shared stream. Concurrent tasks therefore see the same faults in
+    the same places at any job count and under any interleaving, which
+    is what lets the differential tests compare supervised sweeps across
+    [-j]. (This is deliberately {e stricter} than {!Qe_fault.Injector}'s
+    per-run streams: an engine run is sequential, a task batch is not.)
+
+    {b Wedges are cooperative.} OCaml domains cannot be preempted, so a
+    wedged attempt blocks on the plan's release latch rather than
+    spinning: it unblocks (and then raises {!Wedged}) when the
+    supervisor calls {!release} at the end of the batch, or after
+    [wedge_cap_ns], whichever comes first. A real hung task would block
+    forever; the cap keeps tests and degraded (inline) execution
+    finite. *)
+
+type t = {
+  seed : int;
+  kill_rate : float;  (** per attempt: raise {!Killed} instead of running *)
+  delay_rate : float;  (** per attempt: sleep [delay_ns] before running *)
+  delay_ns : int;
+  wedge_rate : float;  (** per attempt: block on the release latch *)
+  wedge_cap_ns : int;  (** upper bound on a wedge, even if never released *)
+}
+
+exception Killed of { task : int; attempt : int }
+exception Wedged of { task : int; attempt : int }
+
+val none : t
+(** All rates zero: observationally identical to no plan at all. *)
+
+val make :
+  ?kill_rate:float ->
+  ?delay_rate:float ->
+  ?delay_ns:int ->
+  ?wedge_rate:float ->
+  ?wedge_cap_ns:int ->
+  seed:int ->
+  unit ->
+  t
+(** Rates default to 0 and are clamped to [0, 1]; [delay_ns] defaults to
+    5 ms, [wedge_cap_ns] to 2 s (both clamped non-negative). *)
+
+val enabled : t -> bool
+
+val summary : t -> string
+
+type action = Pass | Kill | Delay of int  (** ns *) | Wedge
+
+val decide : t -> task:int -> attempt:int -> action
+(** The plan's verdict for this attempt — pure and repeatable. At most
+    one fault per attempt; kill shadows delay shadows wedge. *)
+
+(** {1 The release latch}
+
+    One latch per supervised batch: {!run_action} parks wedged attempts
+    on it, {!release} (called by the supervisor once the batch settles)
+    frees them so abandoned worker domains can exit. *)
+
+type latch
+
+val latch : unit -> latch
+
+val release : latch -> unit
+(** Idempotent. *)
+
+val run_action :
+  latch -> action -> task:int -> attempt:int -> wedge_cap_ns:int -> unit
+(** Execute the fault side of [action] ([Pass] is a no-op; [Kill] raises
+    {!Killed}; [Delay] sleeps; [Wedge] parks on [latch] then raises
+    {!Wedged}). The caller runs the real task after this returns. *)

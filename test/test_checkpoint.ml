@@ -1,0 +1,190 @@
+(* Unit tests for the crash-safe sweep journal (Qe_elect.Checkpoint).
+
+   The campaign-level behaviour (kill -9 then --resume reproduces the
+   CSV byte-for-byte) lives in test_par.ml's "hardened" group; these
+   tests pin the journal file format itself: header validation, append
+   durability, duplicate handling, and the lenient torn-tail decode. *)
+
+module Checkpoint = Qe_elect.Checkpoint
+module J = Qe_obs.Jsonl
+
+let tmp_path () = Filename.temp_file "qelect-ckpt-test" ".jsonl"
+
+let meta =
+  [
+    ("mode", J.String "sweep");
+    ("protocol", J.String "ffs");
+    ("tasks", J.Int 9);
+  ]
+
+let with_path f =
+  let path = tmp_path () in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  go []
+
+let test_roundtrip () =
+  with_path (fun path ->
+      let t = Checkpoint.create ~path ~meta in
+      Checkpoint.append t 0 [ ("row", J.String "a,b,c") ];
+      Checkpoint.append t 4 [ ("row", J.String "d,e,f"); ("ok", J.Bool true) ];
+      Checkpoint.close t;
+      let entries = Checkpoint.load ~path ~meta in
+      Alcotest.(check int) "two entries" 2 (List.length entries);
+      let i0, v0 = List.nth entries 0 in
+      let i4, v4 = List.nth entries 1 in
+      Alcotest.(check int) "first index" 0 i0;
+      Alcotest.(check int) "second index" 4 i4;
+      Alcotest.(check string)
+        "payload survives" "a,b,c"
+        (Option.bind (J.member "row" v0) J.to_str |> Option.get);
+      Alcotest.(check bool) "bool field" true
+        (match J.member "ok" v4 with Some (J.Bool b) -> b | _ -> false);
+      (* loading with a meta subset is fine: only requested fields are
+         checked *)
+      let sub = Checkpoint.load ~path ~meta:[ ("mode", J.String "sweep") ] in
+      Alcotest.(check int) "subset meta loads" 2 (List.length sub))
+
+let test_header_mismatch () =
+  with_path (fun path ->
+      let t = Checkpoint.create ~path ~meta in
+      Checkpoint.append t 0 [ ("row", J.String "x") ];
+      Checkpoint.close t;
+      let wrong = ("protocol", J.String "dfs") in
+      let bad = List.map (fun (k, v) -> if k = "protocol" then wrong else (k, v)) meta in
+      (match Checkpoint.load ~path ~meta:bad with
+      | _ -> Alcotest.fail "mismatched meta must refuse to load"
+      | exception Failure _ -> ());
+      (* a field absent from the header is also a mismatch *)
+      (match Checkpoint.load ~path ~meta:(("extra", J.Int 1) :: meta) with
+      | _ -> Alcotest.fail "missing header field must refuse to load"
+      | exception Failure _ -> ());
+      (* and so is a file that is not a checkpoint at all *)
+      let oc = open_out path in
+      output_string oc "{\"not-a-checkpoint\": true}\n";
+      close_out oc;
+      match Checkpoint.load ~path ~meta with
+      | _ -> Alcotest.fail "foreign file must refuse to load"
+      | exception Failure _ -> ())
+
+let test_missing_file () =
+  match Checkpoint.load ~path:"/nonexistent/qelect.ckpt" ~meta with
+  | _ -> Alcotest.fail "missing file must raise"
+  | exception Failure _ -> ()
+
+let test_duplicates_in_order () =
+  with_path (fun path ->
+      let t = Checkpoint.create ~path ~meta in
+      Checkpoint.append t 3 [ ("row", J.String "first") ];
+      Checkpoint.append t 7 [ ("row", J.String "other") ];
+      Checkpoint.append t 3 [ ("row", J.String "second") ];
+      Checkpoint.close t;
+      let entries = Checkpoint.load ~path ~meta in
+      Alcotest.(check (list int))
+        "file order, duplicates included" [ 3; 7; 3 ]
+        (List.map fst entries);
+      (* last-wins is the documented caller contract *)
+      let tbl = Hashtbl.create 8 in
+      List.iter (fun (i, v) -> Hashtbl.replace tbl i v) entries;
+      Alcotest.(check string)
+        "last duplicate wins" "second"
+        (Option.bind (J.member "row" (Hashtbl.find tbl 3)) J.to_str
+         |> Option.get))
+
+let test_torn_tail () =
+  with_path (fun path ->
+      let t = Checkpoint.create ~path ~meta in
+      Checkpoint.append t 0 [ ("row", J.String "a") ];
+      Checkpoint.append t 1 [ ("row", J.String "b") ];
+      Checkpoint.close t;
+      (* simulate a kill -9 mid-append: a torn final line *)
+      let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+      output_string oc "{\"i\":2,\"ro";
+      close_out oc;
+      let entries = Checkpoint.load ~path ~meta in
+      Alcotest.(check (list int))
+        "torn tail discarded" [ 0; 1 ]
+        (List.map fst entries);
+      (* a parsable line missing the index key also ends the scan *)
+      let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
+      output_string oc "\n{\"rogue\": true}\n{\"i\":5,\"row\":\"late\"}\n";
+      close_out oc;
+      let entries = Checkpoint.load ~path ~meta in
+      Alcotest.(check (list int))
+        "scan stops at first bad line" [ 0; 1 ]
+        (List.map fst entries))
+
+let test_resume_appends () =
+  with_path (fun path ->
+      let t = Checkpoint.create ~path ~meta in
+      Checkpoint.append t 0 [ ("row", J.String "a") ];
+      Checkpoint.close t;
+      let t = Checkpoint.resume ~path ~meta in
+      Checkpoint.append t 1 [ ("row", J.String "b") ];
+      Checkpoint.close t;
+      let entries = Checkpoint.load ~path ~meta in
+      Alcotest.(check (list int))
+        "old and new entries" [ 0; 1 ]
+        (List.map fst entries);
+      (* resume validates the header too *)
+      match Checkpoint.resume ~path ~meta:[ ("mode", J.String "chaos") ] with
+      | _ -> Alcotest.fail "resume must validate meta"
+      | exception Failure _ -> ())
+
+let test_create_atomic () =
+  with_path (fun path ->
+      (* create truncates a previous journal and leaves no temp debris *)
+      let t = Checkpoint.create ~path ~meta in
+      Checkpoint.append t 0 [ ("row", J.String "old") ];
+      Checkpoint.close t;
+      let t = Checkpoint.create ~path ~meta in
+      Checkpoint.append t 1 [ ("row", J.String "new") ];
+      Checkpoint.close t;
+      let entries = Checkpoint.load ~path ~meta in
+      Alcotest.(check (list int)) "fresh journal" [ 1 ] (List.map fst entries);
+      let dir = Filename.dirname path in
+      let stray =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f ->
+               String.length f >= 4 && Filename.check_suffix f ".tmp"
+               && String.sub f 0 4 = "ckpt")
+      in
+      Alcotest.(check (list string)) "no temp debris" [] stray;
+      (* the header is line 1 and self-identifies *)
+      match read_lines path with
+      | header :: _ ->
+          Alcotest.(check bool) "header key present" true
+            (match J.of_string header with
+            | Ok v -> J.member "qelect-checkpoint" v = Some (J.Int 1)
+            | Error _ -> false)
+      | [] -> Alcotest.fail "journal is empty")
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "create/append/load roundtrip" `Quick
+            test_roundtrip;
+          Alcotest.test_case "header mismatch refuses" `Quick
+            test_header_mismatch;
+          Alcotest.test_case "missing file raises" `Quick test_missing_file;
+          Alcotest.test_case "duplicates kept in file order" `Quick
+            test_duplicates_in_order;
+          Alcotest.test_case "torn tail discarded" `Quick test_torn_tail;
+          Alcotest.test_case "resume appends after validation" `Quick
+            test_resume_appends;
+          Alcotest.test_case "create is atomic and truncating" `Quick
+            test_create_atomic;
+        ] );
+    ]

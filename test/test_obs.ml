@@ -758,6 +758,70 @@ let test_expose_scrape () =
   (* stop is idempotent *)
   Qe_obs.Expose.stop srv
 
+(* A scrape must survive hostile clients: a slow-loris trickling its
+   header is cut off at the read deadline (408), connections beyond the
+   cap are answered 503 immediately instead of queueing behind the
+   stalled ones, and a legitimate request split across packets still
+   completes. *)
+let test_expose_hardening () =
+  let r = Metrics.create () in
+  Metrics.add (Metrics.counter r "hard.hits") 1;
+  let srv =
+    Qe_obs.Expose.start ~port:0 ~read_deadline_ns:700_000_000 ~max_conns:1
+      ~sources:[ (fun () -> Metrics.snapshot r) ]
+      ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Qe_obs.Expose.stop srv)
+    (fun () ->
+      let port = Qe_obs.Expose.port srv in
+      let connect () =
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        fd
+      in
+      let read_all fd =
+        let buf = Buffer.create 256 in
+        let bytes = Bytes.create 4096 in
+        let rec loop () =
+          let n = Unix.read fd bytes 0 4096 in
+          if n > 0 then begin
+            Buffer.add_subbytes buf bytes 0 n;
+            loop ()
+          end
+        in
+        (try loop () with Unix.Unix_error _ -> ());
+        Buffer.contents buf
+      in
+      (* slow-loris: open, trickle half a request line, never finish *)
+      let loris = connect () in
+      ignore (Unix.write_substring loris "GET /met" 0 8);
+      Unix.sleepf 0.15;
+      (* the loris holds the only serviced slot until its deadline
+         (still ~0.5 s away), so a second connection must be turned away
+         with 503, not parked *)
+      let extra = connect () in
+      let extra_resp = read_all extra in
+      Alcotest.(check bool) "over-cap connection gets 503" true
+        (contains extra_resp "503");
+      Unix.close extra;
+      let loris_resp = read_all loris in
+      Alcotest.(check bool) "slow-loris gets 408" true
+        (contains loris_resp "408");
+      Unix.close loris;
+      (* a split-packet but honest request still completes *)
+      let slow = connect () in
+      ignore (Unix.write_substring slow "GET /healthz HT" 0 15);
+      Unix.sleepf 0.05;
+      let rest = "TP/1.1\r\n\r\n" in
+      ignore (Unix.write_substring slow rest 0 (String.length rest));
+      let resp = read_all slow in
+      Unix.close slow;
+      Alcotest.(check bool) "split request answered 200" true
+        (contains resp "200");
+      (* and the endpoint is still alive for a normal scrape *)
+      check_contains (http_get port "/metrics") "hard_hits_total 1\n")
+
 (* --- chrome export --- *)
 
 let test_chrome_export () =
@@ -887,7 +951,10 @@ let () =
       ( "openmetrics",
         [ Alcotest.test_case "render" `Quick test_openmetrics_render ] );
       ( "expose",
-        [ Alcotest.test_case "scrape endpoint" `Quick test_expose_scrape ] );
+        [
+          Alcotest.test_case "scrape endpoint" `Quick test_expose_scrape;
+          Alcotest.test_case "hostile clients" `Quick test_expose_hardening;
+        ] );
       ( "chrome",
         [ Alcotest.test_case "trace export" `Quick test_chrome_export ] );
       ( "engine",

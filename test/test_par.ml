@@ -540,6 +540,452 @@ let test_pool_batch_spans () =
       Alcotest.(check int) "global task latency count" 8 count
   | _ -> Alcotest.fail "pool.task_latency missing from metrics_snapshot"
 
+(* ---------- supervisor ---------- *)
+
+module Supervisor = Qe_par.Supervisor
+module HChaos = Qe_par.Harness_chaos
+
+let fast_policy ?deadline_ns ?(max_attempts = 3) () =
+  (* microsecond backoffs: retries should not slow the suite down *)
+  Supervisor.policy ?deadline_ns ~max_attempts ~backoff_base_ns:1_000
+    ~backoff_max_ns:50_000 ()
+
+let test_supervisor_basic () =
+  List.iter
+    (fun jobs ->
+      let reports =
+        Supervisor.map ~policy:(fast_policy ()) ~jobs
+          ~f:(fun i x ->
+            Alcotest.(check int) "f sees its own index" i x;
+            x * x)
+          (Array.init 50 Fun.id)
+      in
+      Array.iteri
+        (fun i rep ->
+          Alcotest.(check (option int)) "value in slot order" (Some (i * i))
+            (Supervisor.value rep);
+          Alcotest.(check int) "one attempt" 1 rep.Supervisor.attempts;
+          Alcotest.(check bool) "not quarantined" false
+            rep.Supervisor.quarantined)
+        reports)
+    [ 1; 4 ];
+  Alcotest.(check int) "empty batch" 0
+    (Array.length (Supervisor.map ~f:(fun _ x -> x) ([||] : int array)))
+
+let test_backoff_deterministic () =
+  let p = Supervisor.policy ~seed:3 () in
+  for task = 0 to 5 do
+    for attempt = 2 to 6 do
+      let b1 = Supervisor.backoff_ns p ~task ~attempt in
+      let b2 = Supervisor.backoff_ns p ~task ~attempt in
+      Alcotest.(check int) "pure function of (seed, task, attempt)" b1 b2;
+      let nominal =
+        Float.min
+          (float_of_int p.Supervisor.backoff_base_ns
+          *. (p.Supervisor.backoff_factor ** float_of_int (attempt - 2)))
+          (float_of_int p.Supervisor.backoff_max_ns)
+      in
+      let lo = nominal *. (1. -. p.Supervisor.jitter) in
+      let hi = nominal *. (1. +. p.Supervisor.jitter) in
+      Alcotest.(check bool) "within the jitter envelope" true
+        (float_of_int b1 >= lo -. 1. && float_of_int b1 <= hi +. 1.)
+    done
+  done;
+  Alcotest.(check int) "no wait before the first attempt" 0
+    (Supervisor.backoff_ns p ~task:0 ~attempt:1);
+  (* different seeds shift the schedule; same seed reproduces it *)
+  let q = Supervisor.policy ~seed:4 () in
+  Alcotest.(check bool) "seed moves the jitter" true
+    (List.exists
+       (fun t ->
+         Supervisor.backoff_ns p ~task:t ~attempt:3
+         <> Supervisor.backoff_ns q ~task:t ~attempt:3)
+       [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+
+let test_supervisor_retry_and_quarantine () =
+  Supervisor.reset_totals ();
+  (* task 2 fails twice then succeeds; task 5 never succeeds; the batch
+     must settle every slot and never raise *)
+  let tries = Array.init 8 (fun _ -> Atomic.make 0) in
+  let sink = Qe_obs.Sink.create () in
+  let reports =
+    Qe_obs.Sink.with_ambient sink (fun () ->
+        Supervisor.map ~policy:(fast_policy ()) ~jobs:3
+          ~f:(fun i x ->
+            let a = 1 + Atomic.fetch_and_add tries.(i) 1 in
+            if i = 2 && a < 3 then failwith "transient";
+            if i = 5 then failwith "poisoned";
+            x * 10)
+          (Array.init 8 Fun.id))
+  in
+  Array.iteri
+    (fun i rep ->
+      match i with
+      | 2 ->
+          Alcotest.(check (option int)) "transient task recovers" (Some 20)
+            (Supervisor.value rep);
+          Alcotest.(check int) "after three attempts" 3 rep.Supervisor.attempts
+      | 5 -> (
+          Alcotest.(check bool) "poisoned task quarantined" true
+            rep.Supervisor.quarantined;
+          match rep.Supervisor.outcome with
+          | Supervisor.Failed (Failure msg) when msg = "poisoned" -> ()
+          | _ -> Alcotest.fail "expected the last Failure to be reported")
+      | _ ->
+          Alcotest.(check (option int)) "bystanders unaffected" (Some (i * 10))
+            (Supervisor.value rep))
+    reports;
+  let t = Supervisor.totals () in
+  Alcotest.(check int) "retries counted" 4 t.Supervisor.retries;
+  (* 2 for task 2, 2 for task 5 *)
+  Alcotest.(check int) "one quarantine" 1 t.Supervisor.quarantined;
+  Alcotest.(check int) "all tasks supervised" 8 t.Supervisor.supervised;
+  (* ambient telemetry: counters + one pool.retry span per retried or
+     quarantined attempt, carrying (task, attempt, why, backoff_ns) *)
+  let snap = Qe_obs.Metrics.snapshot sink.Qe_obs.Sink.metrics in
+  (match Qe_obs.Metrics.find snap "pool.retry" with
+  | Some (Qe_obs.Metrics.Counter n) ->
+      Alcotest.(check int) "ambient pool.retry" 4 n
+  | _ -> Alcotest.fail "pool.retry missing from ambient sink");
+  (match Qe_obs.Metrics.find snap "pool.quarantine" with
+  | Some (Qe_obs.Metrics.Counter n) ->
+      Alcotest.(check int) "ambient pool.quarantine" 1 n
+  | _ -> Alcotest.fail "pool.quarantine missing from ambient sink");
+  let retry_spans =
+    List.filter
+      (fun c -> c.Qe_obs.Span.name = "pool.retry")
+      (Qe_obs.Span.roots sink.Qe_obs.Sink.spans)
+  in
+  Alcotest.(check int) "one span per failed attempt" 5
+    (List.length retry_spans);
+  List.iter
+    (fun s ->
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("span attr " ^ k) true
+            (List.mem_assoc k s.Qe_obs.Span.attrs))
+        [ "task"; "attempt"; "why"; "backoff_ns" ])
+    retry_spans;
+  (* the supervisor registry is a ready-made scrape source *)
+  match Qe_obs.Metrics.find (Supervisor.metrics_snapshot ()) "pool.quarantine" with
+  | Some (Qe_obs.Metrics.Counter n) ->
+      Alcotest.(check int) "metrics_snapshot quarantine" 1 n
+  | _ -> Alcotest.fail "pool.quarantine missing from metrics_snapshot"
+
+let test_harness_chaos_decide () =
+  let c = HChaos.make ~kill_rate:0.1 ~delay_rate:0.1 ~seed:5 () in
+  (* pure: any domain, any order, same verdicts *)
+  for task = 0 to 40 do
+    for attempt = 1 to 3 do
+      Alcotest.(check bool) "decide is pure" true
+        (HChaos.decide c ~task ~attempt = HChaos.decide c ~task ~attempt)
+    done
+  done;
+  (* per-kind draws are independent: enabling delays must not move the
+     kills (each kind has its own position in the per-decision stream) *)
+  let kills_of plan =
+    List.filter
+      (fun t -> HChaos.decide plan ~task:t ~attempt:1 = HChaos.Kill)
+      (List.init 200 Fun.id)
+  in
+  let kill_only = HChaos.make ~kill_rate:0.1 ~seed:5 () in
+  Alcotest.(check (list int)) "kills independent of other kinds"
+    (kills_of kill_only) (kills_of c);
+  Alcotest.(check bool) "some kills at 10%" true (kills_of c <> []);
+  Alcotest.(check bool) "none disabled" false (HChaos.enabled HChaos.none)
+
+let test_supervisor_harness_chaos () =
+  Supervisor.reset_totals ();
+  (* heavy kills: every task must still complete, on exactly the attempt
+     the (pure) plan predicts, at any job count, with identical results *)
+  let plan = HChaos.make ~kill_rate:0.6 ~seed:1 () in
+  let expected_attempts t =
+    let rec go a =
+      if HChaos.decide plan ~task:t ~attempt:a = HChaos.Kill then go (a + 1)
+      else a
+    in
+    go 1
+  in
+  let run jobs =
+    Supervisor.map
+      ~policy:(fast_policy ~max_attempts:12 ())
+      ~chaos:plan ~jobs
+      ~f:(fun i x -> i + x)
+      (Array.init 20 (fun i -> 100 * i))
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Array.iteri
+    (fun i rep ->
+      Alcotest.(check (option int)) "completed despite kills"
+        (Some (i + (100 * i)))
+        (Supervisor.value rep);
+      Alcotest.(check int) "attempts = the plan's prediction"
+        (expected_attempts i) rep.Supervisor.attempts;
+      Alcotest.(check bool) "same report at -j 4" true
+        (Supervisor.value rep = Supervisor.value r4.(i)
+        && rep.Supervisor.attempts = r4.(i).Supervisor.attempts))
+    r1;
+  let kills =
+    List.fold_left
+      (fun acc t -> acc + expected_attempts t - 1)
+      0
+      (List.init 20 Fun.id)
+  in
+  Alcotest.(check bool) "the plan actually killed attempts" true (kills > 0);
+  let t = Supervisor.totals () in
+  Alcotest.(check int) "every kill counted, both runs" (2 * kills)
+    t.Supervisor.chaos_injected;
+  (* a plan that kills attempts 1 and 2 quarantines at max_attempts 2
+     but the rest of the batch still completes *)
+  let reports =
+    Supervisor.map
+      ~policy:(fast_policy ~max_attempts:2 ())
+      ~chaos:(HChaos.make ~kill_rate:0.5 ~seed:2 ()) ~jobs:4
+      ~f:(fun i _ -> i)
+      (Array.make 40 ())
+  in
+  let quarantined =
+    Array.to_list reports
+    |> List.filter (fun (r : _ Supervisor.report) -> r.Supervisor.quarantined)
+    |> List.length
+  in
+  Alcotest.(check bool) "0.5^2 kills some tasks at 2 attempts" true
+    (quarantined > 0);
+  Array.iteri
+    (fun i (rep : _ Supervisor.report) ->
+      if not rep.Supervisor.quarantined then
+        Alcotest.(check (option int)) "survivors all settled" (Some i)
+          (Supervisor.value rep))
+    reports
+
+let test_supervisor_deadline_and_replacement () =
+  Supervisor.reset_totals ();
+  (* task 0's first attempt sleeps far past the deadline: the monitor
+     must time it out, write the worker off, replace it, and the retry
+     (fresh per-attempt budget) must succeed even though the task's
+     cumulative wall time exceeds the deadline *)
+  let tries = Atomic.make 0 in
+  let reports =
+    Supervisor.map
+      ~policy:(fast_policy ~deadline_ns:80_000_000 ())
+      ~jobs:2
+      ~f:(fun i x ->
+        if i = 0 && 1 + Atomic.fetch_and_add tries 1 = 1 then
+          Unix.sleepf 0.5 (* wedged: > deadline, < test patience *);
+        if i = 0 then Unix.sleepf 0.05 (* attempt 2: most of a fresh budget *);
+        x + 1)
+      (Array.init 6 Fun.id)
+  in
+  Array.iteri
+    (fun i rep ->
+      Alcotest.(check (option int)) "all settled" (Some (i + 1))
+        (Supervisor.value rep))
+    reports;
+  Alcotest.(check int) "wedged task retried once" 2
+    reports.(0).Supervisor.attempts;
+  let t = Supervisor.totals () in
+  Alcotest.(check int) "one timeout" 1 t.Supervisor.timeouts;
+  Alcotest.(check int) "one worker replaced" 1 t.Supervisor.replaced;
+  Alcotest.(check int) "no quarantine" 0 t.Supervisor.quarantined
+
+let test_supervisor_timeout_quarantine () =
+  Supervisor.reset_totals ();
+  (* a task that wedges on every attempt exhausts max_attempts as
+     Timed_out; the other tasks are unaffected *)
+  let reports =
+    Supervisor.map
+      ~policy:(fast_policy ~deadline_ns:50_000_000 ~max_attempts:2 ())
+      ~jobs:2
+      ~f:(fun i x ->
+        if i = 3 then Unix.sleepf 0.4;
+        x * 2)
+      (Array.init 5 Fun.id)
+  in
+  (match reports.(3).Supervisor.outcome with
+  | Supervisor.Timed_out ->
+      Alcotest.(check bool) "quarantined" true reports.(3).Supervisor.quarantined
+  | _ -> Alcotest.fail "expected Timed_out for the wedged task");
+  Array.iteri
+    (fun i rep ->
+      if i <> 3 then
+        Alcotest.(check (option int)) "bystanders complete" (Some (i * 2))
+          (Supervisor.value rep))
+    reports;
+  let t = Supervisor.totals () in
+  Alcotest.(check int) "both attempts timed out" 2 t.Supervisor.timeouts;
+  Alcotest.(check int) "quarantined once" 1 t.Supervisor.quarantined
+
+(* The S3 regression: a retried task must face a fresh engine watchdog,
+   not the previous attempt's spent budget. Attempt 1 burns more wall
+   time than the whole watchdog allows and dies; attempt 2 then runs the
+   engine under that watchdog and must elect, which can only happen if
+   the wall budget starts counting at Engine.run, not at first try. *)
+let test_watchdog_fresh_per_attempt () =
+  let watchdog = Watchdog.make ~wall_ns:100_000_000 () in
+  let tries = Atomic.make 0 in
+  let reports =
+    Supervisor.map ~policy:(fast_policy ()) ~jobs:2
+      ~f:(fun _ () ->
+        if 1 + Atomic.fetch_and_add tries 1 = 1 then begin
+          Unix.sleepf 0.15;
+          failwith "attempt 1 spends more than the watchdog's wall budget"
+        end;
+        let world = World.make (Families.cycle 5) ~black:[ 0; 1 ] in
+        let r =
+          Engine.run ~strategy:Engine.Round_robin ~seed:0 ~watchdog world elect
+        in
+        r.Engine.outcome)
+      [| () |]
+  in
+  Alcotest.(check int) "second attempt" 2 reports.(0).Supervisor.attempts;
+  match Supervisor.value reports.(0) with
+  | Some (Engine.Elected _) -> ()
+  | Some o ->
+      Alcotest.failf "expected Elected on the fresh budget, got %s"
+        (Campaign.outcome_label o)
+  | None -> Alcotest.fail "retried task did not settle"
+
+(* ---------- hardened campaign: supervision + checkpoint ---------- *)
+
+let rows_minus_wall rows =
+  List.map
+    (fun r ->
+      match String.rindex_opt r.Campaign.s_csv ',' with
+      | Some i -> String.sub r.Campaign.s_csv 0 i
+      | None -> r.Campaign.s_csv)
+    rows
+
+let test_sweep_hardened_matches_sweep () =
+  let records =
+    Campaign.sweep ~seeds:[ 0; 1 ] ~strategies:two_strategies
+      ~expected:Campaign.elect_expected elect (small_zoo ())
+  in
+  let plain =
+    List.map
+      (fun r ->
+        let row = Campaign.csv_row r in
+        String.sub row 0 (String.rindex row ','))
+      records
+  in
+  List.iter
+    (fun (jobs, chaos) ->
+      let rows, summary =
+        Campaign.sweep_hardened ~seeds:[ 0; 1 ] ~strategies:two_strategies
+          ~jobs ?harness_chaos:chaos
+          ~supervise:(fast_policy ~max_attempts:5 ())
+          ~expected:Campaign.elect_expected elect (small_zoo ())
+      in
+      Alcotest.(check (list string))
+        (Printf.sprintf "rows = sweep rows at -j %d" jobs)
+        plain (rows_minus_wall rows);
+      Alcotest.(check int) "nothing replayed" 0 summary.Campaign.h_replayed;
+      Alcotest.(check (list (pair int string))) "nothing quarantined" []
+        summary.Campaign.h_quarantined)
+    [
+      (1, None);
+      (4, None);
+      (4, Some (HChaos.make ~kill_rate:0.2 ~seed:11 ()));
+    ]
+
+let test_sweep_checkpoint_resume () =
+  let ckpt = Filename.temp_file "qelect_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+    (fun () ->
+      let run ?(resume = false) ?(jobs = 2) () =
+        Campaign.sweep_hardened ~seeds:[ 0; 1 ] ~strategies:two_strategies
+          ~jobs ~checkpoint:ckpt ~resume ~expected:Campaign.elect_expected
+          elect (small_zoo ())
+      in
+      let rows1, _ = run () in
+      (* full journal: a resume replays everything byte-for-byte,
+         wall_ns included, and runs nothing *)
+      let rows2, summary2 = run ~resume:true ~jobs:4 () in
+      Alcotest.(check (list string)) "full resume is a pure replay"
+        (List.map (fun r -> r.Campaign.s_csv) rows1)
+        (List.map (fun r -> r.Campaign.s_csv) rows2);
+      Alcotest.(check int) "everything replayed"
+        (List.length rows1) summary2.Campaign.h_replayed;
+      Alcotest.(check bool) "rows flagged as replayed" true
+        (List.for_all (fun r -> r.Campaign.s_replayed) rows2);
+      (* simulate a kill -9: keep the header and the first 7 records,
+         leave a torn line at the tail — the loader must use the 7 and
+         rerun the rest, reproducing the same records *)
+      let lines =
+        In_channel.with_open_text ckpt In_channel.input_lines
+      in
+      Out_channel.with_open_text ckpt (fun oc ->
+          List.iteri
+            (fun n l -> if n < 8 then Out_channel.output_string oc (l ^ "\n"))
+            lines;
+          Out_channel.output_string oc "{\"i\":9,\"ro");
+      let rows3, summary3 = run ~resume:true ~jobs:4 () in
+      Alcotest.(check int) "seven tasks replayed" 7
+        summary3.Campaign.h_replayed;
+      Alcotest.(check (list string)) "torn-tail resume reproduces the sweep"
+        (rows_minus_wall rows1) (rows_minus_wall rows3);
+      (* a journal from a different matrix is refused *)
+      Alcotest.check_raises "meta mismatch refuses"
+        (Failure "meta")
+        (fun () ->
+          try
+            ignore
+              (Campaign.sweep_hardened ~seeds:[ 0; 1; 2 ]
+                 ~strategies:two_strategies ~checkpoint:ckpt ~resume:true
+                 ~expected:Campaign.elect_expected elect (small_zoo ()))
+          with Failure _ -> raise (Failure "meta")))
+
+let test_chaos_hardened_matches_chaos () =
+  let plain =
+    Campaign.chaos_sweep ~seeds:2 ~strategies:two_strategies
+      ~expected:Campaign.elect_expected elect (small_zoo ())
+  in
+  let hardened, summary =
+    Campaign.chaos_sweep_hardened ~seeds:2 ~strategies:two_strategies ~jobs:4
+      ~expected:Campaign.elect_expected elect (small_zoo ())
+  in
+  Alcotest.(check int) "same run count" plain.Campaign.c_runs
+    hardened.Campaign.c_runs;
+  Alcotest.(check int) "same faults fired" plain.Campaign.c_faults_fired
+    hardened.Campaign.c_faults_fired;
+  Alcotest.(check (list (pair string int))) "same outcome table"
+    plain.Campaign.c_outcomes hardened.Campaign.c_outcomes;
+  Alcotest.(check int) "same zero-fault count"
+    plain.Campaign.c_zero_fault_runs hardened.Campaign.c_zero_fault_runs;
+  Alcotest.(check int) "no violations either way" 0
+    (List.length hardened.Campaign.c_violating);
+  Alcotest.(check int) "nothing quarantined" 0
+    (List.length summary.Campaign.h_quarantined);
+  (* checkpointed chaos: a partial journal resumes to the same report *)
+  let ckpt = Filename.temp_file "qelect_test" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove ckpt with Sys_error _ -> ())
+    (fun () ->
+      let full, _ =
+        Campaign.chaos_sweep_hardened ~seeds:2 ~strategies:two_strategies
+          ~jobs:2 ~checkpoint:ckpt ~expected:Campaign.elect_expected elect
+          (small_zoo ())
+      in
+      let lines = In_channel.with_open_text ckpt In_channel.input_lines in
+      Out_channel.with_open_text ckpt (fun oc ->
+          List.iteri
+            (fun n l -> if n < 11 then Out_channel.output_string oc (l ^ "\n"))
+            lines);
+      let resumed, summary =
+        Campaign.chaos_sweep_hardened ~seeds:2 ~strategies:two_strategies
+          ~jobs:4 ~checkpoint:ckpt ~resume:true
+          ~expected:Campaign.elect_expected elect (small_zoo ())
+      in
+      Alcotest.(check int) "ten replayed" 10 summary.Campaign.h_replayed;
+      Alcotest.(check int) "same runs" full.Campaign.c_runs
+        resumed.Campaign.c_runs;
+      Alcotest.(check (list (pair string int))) "same outcomes resumed"
+        full.Campaign.c_outcomes resumed.Campaign.c_outcomes;
+      Alcotest.(check int) "same faults resumed" full.Campaign.c_faults_fired
+        resumed.Campaign.c_faults_fired;
+      Alcotest.(check bool) "by-kind identical" true
+        (full.Campaign.c_by_kind = resumed.Campaign.c_by_kind))
+
 let () =
   Alcotest.run "par"
     [
@@ -571,6 +1017,33 @@ let () =
             test_chaos_sweep_jobs_invariant;
           Alcotest.test_case "chaos_sweep (livelock watchdog)" `Quick
             test_chaos_livelock_watchdog_jobs_invariant;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "map basic" `Quick test_supervisor_basic;
+          Alcotest.test_case "backoff deterministic" `Quick
+            test_backoff_deterministic;
+          Alcotest.test_case "retry, quarantine + telemetry" `Quick
+            test_supervisor_retry_and_quarantine;
+          Alcotest.test_case "harness chaos decide" `Quick
+            test_harness_chaos_decide;
+          Alcotest.test_case "survives harness chaos" `Quick
+            test_supervisor_harness_chaos;
+          Alcotest.test_case "deadline + worker replacement" `Quick
+            test_supervisor_deadline_and_replacement;
+          Alcotest.test_case "timeout quarantine" `Quick
+            test_supervisor_timeout_quarantine;
+          Alcotest.test_case "fresh watchdog per attempt" `Quick
+            test_watchdog_fresh_per_attempt;
+        ] );
+      ( "hardened",
+        [
+          Alcotest.test_case "sweep_hardened = sweep" `Quick
+            test_sweep_hardened_matches_sweep;
+          Alcotest.test_case "checkpoint resume" `Quick
+            test_sweep_checkpoint_resume;
+          Alcotest.test_case "chaos hardened + resume" `Quick
+            test_chaos_hardened_matches_chaos;
         ] );
       ( "campaign-csv",
         [
