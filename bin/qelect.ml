@@ -19,6 +19,10 @@ module Engine = Qe_runtime.Engine
 module Color = Qe_color.Color
 module Campaign = Qe_elect.Campaign
 module Oracle = Qe_elect.Oracle
+module Canon = Qe_symmetry.Canon
+module Canon_backend = Qe_symmetry.Canon_backend
+module Cdigraph = Qe_symmetry.Cdigraph
+module Metrics = Qe_obs.Metrics
 open Cmdliner
 
 (* ---------- graph spec parsing ---------- *)
@@ -115,8 +119,20 @@ let exit_stuck = 5 (* step limit or watchdog timeout *)
 let exit_inconsistent = 6
 let exit_chaos_violation = 7
 let exit_quarantined = 8
+let exit_divergence = 9 (* canonicalization backends disagreed *)
 
 let outcome_exit_code = ref 0
+
+(* Every instance-touching command takes --canon-backend; [both] can
+   raise Divergence from any Canon.run, which all of them turn into
+   exit 9 via this handler. *)
+let catch_divergence e =
+  match Canon_backend.divergence_message e with
+  | Some msg ->
+      prerr_endline msg;
+      outcome_exit_code := exit_divergence;
+      `Ok ()
+  | None -> raise e
 
 let note_outcome o =
   outcome_exit_code :=
@@ -134,9 +150,10 @@ let fault_plans =
 
 (* ---------- run ---------- *)
 
-let run_cmd file instance graph agents protocol strategy seed verbose trace
-    trace_out stats faults fault_seed =
+let run_cmd backend file instance graph agents protocol strategy seed verbose
+    trace trace_out stats faults fault_seed =
   try
+    Option.iter Canon_backend.select backend;
     let g, black, name = resolve_instance ?file ~instance ~graph ~agents () in
     let proto =
       match List.assoc_opt protocol protocols with
@@ -243,7 +260,7 @@ let run_cmd file instance graph agents protocol strategy seed verbose trace
     | Some path -> Printf.printf "trace written to %s\n" path
     | None -> ());
     `Ok ()
-  with Failure msg -> `Error (false, msg)
+  with Failure msg -> `Error (false, msg) | e -> catch_divergence e
 
 (* ---------- report ---------- *)
 
@@ -406,8 +423,9 @@ let report_cmd path strict chrome =
 
 (* ---------- analyze ---------- *)
 
-let analyze_cmd file instance graph agents =
+let analyze_cmd backend file instance graph agents =
   try
+    Option.iter Canon_backend.select backend;
     let g, black, name = resolve_instance ?file ~instance ~graph ~agents () in
     let b = Bicolored.make g ~black in
     Printf.printf "instance %s: n=%d, m=%d, agents at {%s}\n" name (Graph.n g)
@@ -439,7 +457,7 @@ let analyze_cmd file instance graph agents =
     Printf.printf "overall prediction: %s\n"
       (Format.asprintf "%a" Oracle.pp_prediction (Oracle.predict b));
     `Ok ()
-  with Failure msg -> `Error (false, msg)
+  with Failure msg -> `Error (false, msg) | e -> catch_divergence e
 
 (* ---------- zoo ---------- *)
 
@@ -607,9 +625,10 @@ let report_supervision summary oc =
     outcome_exit_code := exit_quarantined
   end
 
-let sweep_cmd protocol seeds jobs no_cache stats metrics_port checkpoint
-    resume task_deadline task_retries harness_chaos =
+let sweep_cmd backend protocol seeds jobs no_cache stats metrics_port
+    checkpoint resume task_deadline task_retries harness_chaos =
   try
+    Option.iter Canon_backend.select backend;
     if no_cache then Cache.set_enabled false;
     Cache.reset_stats ();
     if resume && checkpoint = None then
@@ -649,13 +668,14 @@ let sweep_cmd protocol seeds jobs no_cache stats metrics_port checkpoint
         report_supervision summary stderr);
     if stats then print_cache_stats stderr;
     `Ok ()
-  with Failure msg -> `Error (false, msg)
+  with Failure msg -> `Error (false, msg) | e -> catch_divergence e
 
 (* ---------- chaos ---------- *)
 
-let chaos_cmd protocol seeds trace_out jobs no_cache stats metrics_port
-    checkpoint resume task_deadline task_retries harness_chaos =
+let chaos_cmd backend protocol seeds trace_out jobs no_cache stats
+    metrics_port checkpoint resume task_deadline task_retries harness_chaos =
   try
+    Option.iter Canon_backend.select backend;
     if no_cache then Cache.set_enabled false;
     Cache.reset_stats ();
     if resume && checkpoint = None then
@@ -740,9 +760,313 @@ let chaos_cmd protocol seeds trace_out jobs no_cache stats metrics_port
     if stats then print_cache_stats stdout;
     if viol <> [] then outcome_exit_code := exit_chaos_violation;
     `Ok ()
+  with Failure msg -> `Error (false, msg) | e -> catch_divergence e
+
+(* ---------- selftest (differential canonicalization harness) ---------- *)
+
+module Classes = Qe_symmetry.Classes
+module Brute = Qe_symmetry.Brute
+
+type st_item = { st_label : string; st_graph : Graph.t; st_black : int list }
+
+(* Zoo + Cayley zoo + [random_count] seeded random bicolored instances.
+   Everything about an instance is a pure function of its index, so the
+   corpus is identical across -j and across runs. *)
+let selftest_corpus ~random_count =
+  let zoo =
+    List.map
+      (fun i ->
+        {
+          st_label = i.Campaign.name;
+          st_graph = i.Campaign.graph;
+          st_black = i.Campaign.black;
+        })
+      (Campaign.zoo () @ Campaign.cayley_zoo ())
+  in
+  let rand i =
+    let st = Random.State.make [| 0x5e1f7e57; i |] in
+    let n = 4 + Random.State.int st 9 (* 4..12 nodes *) in
+    let extra = Random.State.int st n in
+    let g =
+      Families.random_connected ~seed:(7_000_000 + i) ~n ~extra_edges:extra
+    in
+    let nodes = Array.init n Fun.id in
+    for j = n - 1 downto 1 do
+      let r = Random.State.int st (j + 1) in
+      let t = nodes.(j) in
+      nodes.(j) <- nodes.(r);
+      nodes.(r) <- t
+    done;
+    let k = 1 + Random.State.int st (max 1 (n / 2)) in
+    let black = List.sort compare (Array.to_list (Array.sub nodes 0 k)) in
+    { st_label = Printf.sprintf "random-%04d" i; st_graph = g; st_black = black }
+  in
+  zoo @ List.init random_count rand
+
+(* Everything a backend computes about one instance that the other
+   backend must reproduce bit-for-bit — including the non-latency metric
+   snapshot of the whole computation (canon.* and refine.* tallies). *)
+type st_row = {
+  r_fp : string;
+  r_cert : string;
+  r_labeling : int array;
+  r_orbits : int array;
+  r_generators : int;
+  r_leaves : int;
+  r_classes : string;
+  r_snap : Metrics.snapshot;
+}
+
+let strip_latency snap =
+  List.filter (fun (name, _) -> not (Metrics.is_latency name)) snap
+
+let classes_repr t =
+  Classes.classes t
+  |> List.map (fun c -> String.concat "," (List.map string_of_int c))
+  |> String.concat ";"
+
+(* One backend over the whole corpus on the pool. The selection is
+   global, so it is switched once here, before any task runs; every
+   task computes under a private sink and returns its full snapshot so
+   quantiles can be merged afterwards. *)
+let selftest_phase pool backend items =
+  Canon_backend.select backend;
+  let f _i it =
+    let b = Bicolored.make it.st_graph ~black:it.st_black in
+    let d = Cdigraph.of_bicolored b in
+    let sink = Qe_obs.Sink.create () in
+    let row =
+      Qe_obs.Sink.with_ambient sink (fun () ->
+          let r = Canon.run d in
+          let fp = Cache.fingerprint_uncached b in
+          let cls = classes_repr (Classes.compute b) in
+          {
+            r_fp = fp;
+            r_cert = r.Canon.certificate;
+            r_labeling = r.Canon.canonical_labeling;
+            r_orbits = r.Canon.orbits;
+            r_generators = List.length r.Canon.generators;
+            r_leaves = r.Canon.leaves_visited;
+            r_classes = cls;
+            r_snap = [];
+          })
+    in
+    let snap = Metrics.snapshot sink.Qe_obs.Sink.metrics in
+    ({ row with r_snap = strip_latency snap }, snap)
+  in
+  Qe_par.Pool.map pool
+    ~weight:(fun _ it -> Graph.n it.st_graph + Graph.m it.st_graph)
+    ~f (Array.of_list items)
+
+let row_divergence a b =
+  if a.r_cert <> b.r_cert then Some "certificate"
+  else if a.r_labeling <> b.r_labeling then Some "canonical labeling"
+  else if a.r_orbits <> b.r_orbits then Some "orbits"
+  else if a.r_generators <> b.r_generators then Some "generator count"
+  else if a.r_leaves <> b.r_leaves then Some "leaves visited"
+  else if a.r_fp <> b.r_fp then Some "fingerprint"
+  else if a.r_classes <> b.r_classes then Some "class partition"
+  else if a.r_snap <> b.r_snap then Some "metric snapshot"
+  else None
+
+(* Greedy structural minimizer for a diverging instance: drop edges,
+   then agents, as long as the kernels still disagree. An exception in
+   exactly one kernel counts as disagreement. *)
+let kernel_sig kernel d =
+  match kernel d with
+  | (r : Canon.result) ->
+      Ok (r.Canon.certificate, r.Canon.orbits, r.Canon.leaves_visited)
+  | exception e -> Error (Printexc.to_string e)
+
+let pair_diverges g black =
+  match Bicolored.make g ~black with
+  | exception _ -> false
+  | b ->
+      let d = Cdigraph.of_bicolored b in
+      kernel_sig Canon.run_ocaml d <> kernel_sig Canon.run_c d
+
+let minimize_counterexample g black =
+  let n = Graph.n g in
+  let edges = ref (Graph.edges g) in
+  let agents = ref black in
+  let graph_of es = Graph.of_edges ~n es in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun e ->
+        if List.mem e !edges then
+          let keep = List.filter (fun e' -> e' <> e) !edges in
+          match graph_of keep with
+          | exception _ -> ()
+          | g' ->
+              if pair_diverges g' !agents then begin
+                edges := keep;
+                changed := true
+              end)
+      !edges;
+    List.iter
+      (fun a ->
+        if List.length !agents > 1 && List.mem a !agents then
+          let keep = List.filter (fun a' -> a' <> a) !agents in
+          if pair_diverges (graph_of !edges) keep then begin
+            agents := keep;
+            changed := true
+          end)
+      !agents
+  done;
+  (graph_of !edges, !agents)
+
+let print_backend_metrics name merged =
+  let kernel =
+    List.filter
+      (fun (n, _) ->
+        String.starts_with ~prefix:"canon." n
+        || String.starts_with ~prefix:"refine." n)
+      merged
+  in
+  Printf.printf "backend %s:\n" name;
+  print_string (Metrics.render (strip_latency kernel));
+  print_latency_quantiles stdout kernel
+
+let selftest_cmd random_count jobs brute_cap write_golden dump_path =
+  try
+    (* no memoized artifact may mask a backend divergence *)
+    Cache.set_enabled false;
+    let saved_backend = Canon_backend.current () in
+    Fun.protect
+      ~finally:(fun () -> Canon_backend.select saved_backend)
+      (fun () ->
+        let items = selftest_corpus ~random_count in
+        let jobs = resolve_jobs jobs in
+        Printf.printf
+          "selftest: %d instances (%d zoo + %d random), backends ocaml+c, \
+           -j %d\n\
+           %!"
+          (List.length items)
+          (List.length items - random_count)
+          random_count jobs;
+        let pool = Qe_par.Pool.create ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> Qe_par.Pool.shutdown pool)
+          (fun () ->
+            let ml = selftest_phase pool Canon_backend.Ocaml items in
+            let c = selftest_phase pool Canon_backend.C items in
+            let merge rows =
+              Array.fold_left
+                (fun acc (_, snap) -> Metrics.merge acc snap)
+                [] rows
+            in
+            print_backend_metrics "ocaml" (merge ml);
+            print_backend_metrics "c" (merge c);
+            (match write_golden with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    List.iteri
+                      (fun i it ->
+                        if not (String.starts_with ~prefix:"random-" it.st_label)
+                        then
+                          Printf.fprintf oc "%s %s\n" it.st_label
+                            (fst ml.(i)).r_fp)
+                      items);
+                Printf.printf "golden corpus written to %s\n" path);
+            (* cross-backend comparison, every instance *)
+            let divergences = ref [] in
+            List.iteri
+              (fun i it ->
+                match row_divergence (fst ml.(i)) (fst c.(i)) with
+                | Some field -> divergences := (it, field) :: !divergences
+                | None -> ())
+              items;
+            (* Brute agreement on small instances (factorial-time, so the
+               n = 8 slice is capped; the cap is reported, never silent) *)
+            let small =
+              List.filter
+                (fun (_, it) -> Graph.n it.st_graph <= 8)
+                (List.mapi (fun i it -> (i, it)) items)
+            in
+            let n7, n8 =
+              List.partition (fun (_, it) -> Graph.n it.st_graph <= 7) small
+            in
+            let take k l = List.filteri (fun i _ -> i < k) l in
+            let brute_jobs = take brute_cap n7 @ take 8 n8 in
+            let skipped = List.length small - List.length brute_jobs in
+            if skipped > 0 then
+              Printf.printf
+                "brute check: %d of %d small instances (cap; raise \
+                 --brute-cap to widen)\n"
+                (List.length brute_jobs) (List.length small)
+            else
+              Printf.printf "brute check: %d instances (all with n <= 8)\n"
+                (List.length brute_jobs);
+            let brute_res =
+              Qe_par.Pool.map pool
+                ~f:(fun _ (i, it) ->
+                  let b = Bicolored.make it.st_graph ~black:it.st_black in
+                  let truth = Brute.orbits (Cdigraph.of_bicolored b) in
+                  if truth <> (fst ml.(i)).r_orbits then Some (it, "brute orbits")
+                  else None)
+                (Array.of_list brute_jobs)
+            in
+            Array.iter
+              (function
+                | Some d -> divergences := d :: !divergences | None -> ())
+              brute_res;
+            match List.rev !divergences with
+            | [] ->
+                Printf.printf
+                  "selftest OK: %d instances, 0 divergences (fingerprints, \
+                   class partitions, orbits, search statistics)\n"
+                  (List.length items)
+            | (it, _) :: _ as all ->
+                Printf.printf "selftest FAILED: %d diverging instance(s)\n"
+                  (List.length all);
+                List.iter
+                  (fun (it, field) ->
+                    Printf.printf "  %s: %s differ\n" it.st_label field)
+                  (take 10 all);
+                let g', black' = minimize_counterexample it.st_graph it.st_black
+                in
+                let g', black' =
+                  if pair_diverges g' black' then (g', black')
+                  else (it.st_graph, it.st_black)
+                in
+                Qe_graph.Serial.save ~path:dump_path ~black:black' g';
+                Printf.printf
+                  "minimized counterexample (%s, %d nodes, %d edges, %d \
+                   agents) written to %s\n"
+                  it.st_label (Graph.n g') (Graph.m g') (List.length black')
+                  dump_path;
+                outcome_exit_code := exit_divergence));
+    `Ok ()
   with Failure msg -> `Error (false, msg)
 
 (* ---------- cmdliner plumbing ---------- *)
+
+let backend_arg =
+  let backend_conv =
+    Arg.enum
+      [
+        ("ocaml", Canon_backend.Ocaml);
+        ("c", Canon_backend.C);
+        ("both", Canon_backend.Both);
+      ]
+  in
+  Arg.(
+    value
+    & opt (some backend_conv) None
+    & info [ "canon-backend" ]
+        ~doc:
+          "Canonicalization kernel: $(b,ocaml) (pure-OCaml reference), \
+           $(b,c) (C stub) or $(b,both) (run both, cross-check, exit 9 on \
+           divergence). Defaults to $(b,QELECT_CANON_BACKEND) or ocaml. \
+           Results are bit-identical across backends — enforced by \
+           $(b,qelect selftest)."
+        ~docv:"KERNEL")
 
 let file_arg =
   Arg.(value & opt (some string) None & info [ "file"; "f" ] ~doc:"Instance file (qelect-instance format).")
@@ -800,9 +1124,9 @@ let fault_seed_arg =
 let run_term =
   Term.(
     ret
-      (const run_cmd $ file_arg $ instance_arg $ graph_arg $ agents_arg
-     $ protocol_arg $ strategy_arg $ seed_arg $ verbose_arg $ trace_arg
-     $ trace_out_arg $ stats_arg $ faults_arg $ fault_seed_arg))
+      (const run_cmd $ backend_arg $ file_arg $ instance_arg $ graph_arg
+     $ agents_arg $ protocol_arg $ strategy_arg $ seed_arg $ verbose_arg
+     $ trace_arg $ trace_out_arg $ stats_arg $ faults_arg $ fault_seed_arg))
 
 let report_file_arg =
   Arg.(
@@ -835,7 +1159,9 @@ let report_term =
 
 let analyze_term =
   Term.(
-    ret (const analyze_cmd $ file_arg $ instance_arg $ graph_arg $ agents_arg))
+    ret
+      (const analyze_cmd $ backend_arg $ file_arg $ instance_arg $ graph_arg
+     $ agents_arg))
 
 let zoo_term = Term.(ret (const zoo_cmd $ const ()))
 let dot_term =
@@ -954,9 +1280,9 @@ let harness_chaos_arg =
 let sweep_term =
   Term.(
     ret
-      (const sweep_cmd $ protocol_arg $ seeds_arg $ jobs_arg $ no_cache_arg
-     $ cache_stats_arg $ metrics_port_arg $ checkpoint_arg $ resume_arg
-     $ task_deadline_arg $ task_retries_arg $ harness_chaos_arg))
+      (const sweep_cmd $ backend_arg $ protocol_arg $ seeds_arg $ jobs_arg
+     $ no_cache_arg $ cache_stats_arg $ metrics_port_arg $ checkpoint_arg
+     $ resume_arg $ task_deadline_arg $ task_retries_arg $ harness_chaos_arg))
 
 let chaos_seeds_arg =
   Arg.(
@@ -973,10 +1299,56 @@ let chaos_trace_out_arg =
 
 let chaos_term =
   Term.(
-    ret (const chaos_cmd $ protocol_arg $ chaos_seeds_arg
+    ret (const chaos_cmd $ backend_arg $ protocol_arg $ chaos_seeds_arg
        $ chaos_trace_out_arg $ jobs_arg $ no_cache_arg $ cache_stats_arg
        $ metrics_port_arg $ checkpoint_arg $ resume_arg $ task_deadline_arg
        $ task_retries_arg $ harness_chaos_arg))
+
+let selftest_random_arg =
+  Arg.(
+    value & opt int 1000
+    & info [ "random" ]
+        ~doc:
+          "Number of seeded random bicolored instances (4-12 nodes) to \
+           check on top of the full zoo."
+        ~docv:"N")
+
+let selftest_brute_cap_arg =
+  Arg.(
+    value & opt int 48
+    & info [ "brute-cap" ]
+        ~doc:
+          "How many instances with <= 7 nodes get the factorial-time \
+           $(b,Brute) orbit cross-check (plus at most 8 with 8 nodes). \
+           The applied cap is always printed."
+        ~docv:"N")
+
+let write_golden_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "write-golden" ]
+        ~doc:
+          "Write the zoo fingerprint corpus (name + canonical fingerprint \
+           per line, OCaml backend) to $(docv) — regenerates \
+           test/data/canon_golden.txt."
+        ~docv:"FILE")
+
+let dump_arg =
+  Arg.(
+    value
+    & opt string "canon-divergence.qelect"
+    & info [ "dump" ]
+        ~doc:
+          "Where to write the minimized counterexample instance on \
+           divergence."
+        ~docv:"FILE")
+
+let selftest_term =
+  Term.(
+    ret
+      (const selftest_cmd $ selftest_random_arg $ jobs_arg
+     $ selftest_brute_cap_arg $ write_golden_arg $ dump_arg))
 
 let run_exits =
   Cmd.Exit.info exit_deadlock ~doc:"The run ended in a deadlock."
@@ -1002,6 +1374,13 @@ let chaos_exits =
   Cmd.Exit.info exit_chaos_violation
     ~doc:"At least one chaos run violated a safety invariant."
   :: quarantine_exit :: Cmd.Exit.defaults
+
+let selftest_exits =
+  Cmd.Exit.info exit_divergence
+    ~doc:
+      "The canonicalization backends diverged; a minimized counterexample \
+       was dumped."
+  :: Cmd.Exit.defaults
 
 let cmds =
   [
@@ -1043,6 +1422,18 @@ let cmds =
             runs on solvable Cayley instances terminate). Exits 7 on any \
             violation.")
       chaos_term;
+    Cmd.v
+      (Cmd.info "selftest" ~exits:selftest_exits
+         ~doc:
+           "Differentially verify the canonicalization backends: run the \
+            pure-OCaml and C kernels over the full instance zoo plus seeded \
+            random bicolored digraphs, cross-checking canonical \
+            fingerprints, class partitions, automorphism orbits, search \
+            statistics and metric snapshots — and both against the \
+            factorial-time $(b,Brute) reference on instances with <= 8 \
+            nodes. Exits 9 with a minimized counterexample dump on any \
+            divergence.")
+      selftest_term;
   ]
 
 let () =

@@ -425,28 +425,42 @@ let memo t ~key compute =
 let exact_key b = Cdigraph.certificate_of_identity (Cdigraph.of_bicolored b)
 let graph_key g = Cdigraph.certificate_of_identity (Cdigraph.of_graph g)
 
+(* Canon-derived artifacts are additionally scoped by the selected
+   canonicalization backend: the values are supposed to be
+   backend-independent (selftest's whole job is proving that), but the
+   cache must never be the thing hiding a divergence. Belt and braces:
+   scoped keys here, plus a [clear] hook on every backend switch (below)
+   for the downstream tables — oracle verdicts, ELECT plans — that key
+   on the bare exact certificate. *)
+let backend_key b = Canon_backend.tag () ^ "|" ^ exact_key b
+
+let () = Canon_backend.on_switch clear
+
 let classes_tbl : Classes.t table = create_table ~kind:"classes" ()
 let fingerprint_tbl : string table = create_table ~kind:"certificate" ()
 
-let classes b = memo classes_tbl ~key:(exact_key b) (fun () -> Classes.compute b)
+let classes b =
+  memo classes_tbl ~key:(backend_key b) (fun () -> Classes.compute b)
+
+let fingerprint_uncached b =
+  let r = Canon.run (Cdigraph.of_bicolored b) in
+  (* black-node orbit signature: sorted sizes of the orbits that
+     contain home-bases, an isomorphism invariant of the placement *)
+  let reps =
+    List.sort_uniq compare
+      (List.map (fun u -> r.Canon.orbits.(u)) (Qe_graph.Bicolored.blacks b))
+  in
+  let size_of rep =
+    let n = Array.length r.Canon.orbits in
+    let c = ref 0 in
+    for u = 0 to n - 1 do
+      if r.Canon.orbits.(u) = rep then incr c
+    done;
+    !c
+  in
+  let sig_ = List.sort compare (List.map size_of reps) in
+  r.Canon.certificate ^ "#black-orbits:"
+  ^ String.concat "," (List.map string_of_int sig_)
 
 let fingerprint b =
-  memo fingerprint_tbl ~key:(exact_key b) (fun () ->
-      let r = Canon.run (Cdigraph.of_bicolored b) in
-      (* black-node orbit signature: sorted sizes of the orbits that
-         contain home-bases, an isomorphism invariant of the placement *)
-      let reps =
-        List.sort_uniq compare
-          (List.map (fun u -> r.Canon.orbits.(u)) (Qe_graph.Bicolored.blacks b))
-      in
-      let size_of rep =
-        let n = Array.length r.Canon.orbits in
-        let c = ref 0 in
-        for u = 0 to n - 1 do
-          if r.Canon.orbits.(u) = rep then incr c
-        done;
-        !c
-      in
-      let sig_ = List.sort compare (List.map size_of reps) in
-      r.Canon.certificate ^ "#black-orbits:"
-      ^ String.concat "," (List.map string_of_int sig_))
+  memo fingerprint_tbl ~key:(backend_key b) (fun () -> fingerprint_uncached b)

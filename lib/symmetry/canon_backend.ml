@@ -1,0 +1,66 @@
+type id = Ocaml | C | Both
+
+exception Divergence of { backend_a : id; backend_b : id; detail : string }
+
+let to_string = function Ocaml -> "ocaml" | C -> "c" | Both -> "both"
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "ocaml" | "ml" -> Some Ocaml
+  | "c" | "stub" -> Some C
+  | "both" | "diff" -> Some Both
+  | _ -> None
+
+let all = [ Ocaml; C; Both ]
+
+(* ---------- selection ---------- *)
+
+(* Switch hooks run outside any lock of ours, but under [hooks_m] so a
+   hook list read never races a registration. Hooks must be idempotent
+   and domain-safe ([Artifact_cache.clear] is both). *)
+let hooks : (unit -> unit) list ref = ref []
+let hooks_m = Mutex.create ()
+
+let on_switch f =
+  Mutex.lock hooks_m;
+  hooks := f :: !hooks;
+  Mutex.unlock hooks_m
+
+let default_of_env () =
+  match Sys.getenv_opt "QELECT_CANON_BACKEND" with
+  | None -> Ocaml
+  | Some s -> (
+      match of_string s with
+      | Some id -> id
+      | None ->
+          Printf.eprintf
+            "qelect: ignoring invalid QELECT_CANON_BACKEND=%S (want \
+             ocaml|c|both)\n%!"
+            s;
+          Ocaml)
+
+let state = Atomic.make (default_of_env ())
+
+let current () = Atomic.get state
+let tag () = to_string (current ())
+
+let select id =
+  let prev = Atomic.exchange state id in
+  if prev <> id then begin
+    Mutex.lock hooks_m;
+    let hs = !hooks in
+    Mutex.unlock hooks_m;
+    List.iter (fun f -> f ()) hs
+  end
+
+let with_backend id f =
+  let prev = current () in
+  select id;
+  Fun.protect ~finally:(fun () -> select prev) f
+
+let divergence_message = function
+  | Divergence { backend_a; backend_b; detail } ->
+      Some
+        (Printf.sprintf "canonical backends diverge (%s vs %s): %s"
+           (to_string backend_a) (to_string backend_b) detail)
+  | _ -> None

@@ -1,0 +1,266 @@
+(* Differential tests of the two canonicalization kernels: the pure-OCaml
+   reference (Canon.run_ocaml) and the C stub (Canon.run_c) must agree
+   bit-for-bit on every observable — certificates, labelings, orbits,
+   generators, leaf counts, budget behavior and non-latency telemetry.
+   The golden corpus pins the zoo fingerprints so a behavioral change in
+   either kernel (or in the fingerprint construction) fails loudly. *)
+
+module Graph = Qe_graph.Graph
+module Bicolored = Qe_graph.Bicolored
+module Cdigraph = Qe_symmetry.Cdigraph
+module Canon = Qe_symmetry.Canon
+module Canon_backend = Qe_symmetry.Canon_backend
+module Brute = Qe_symmetry.Brute
+module Cache = Qe_symmetry.Artifact_cache
+module Campaign = Qe_elect.Campaign
+module Metrics = Qe_obs.Metrics
+
+let kernels =
+  [
+    ("ocaml", fun g -> Canon.run_ocaml g); ("c", fun g -> Canon.run_c g);
+  ]
+
+let random_permutation st n =
+  let p = Array.init n Fun.id in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int st (i + 1) in
+    let t = p.(i) in
+    p.(i) <- p.(j);
+    p.(j) <- t
+  done;
+  p
+
+let random_cdigraph ?(max_n = 12) st =
+  let n = 2 + Random.State.int st (max_n - 1) in
+  let kc = 1 + Random.State.int st 3 in
+  let colors = Array.init n (fun _ -> Random.State.int st kc) in
+  let arcs = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v && Random.State.float st 1.0 < 0.35 then
+        arcs :=
+          { Cdigraph.src = u; dst = v; color = Random.State.int st 3 }
+          :: !arcs
+    done
+  done;
+  Cdigraph.make ~n ~node_color:(fun u -> colors.(u)) !arcs
+
+(* A random strictly increasing map over 0..k-1 — relabels the color
+   palette without changing the relative order either kernel keys on. *)
+let monotone_map st k =
+  let m = Array.make (max 1 k) 0 in
+  let v = ref (Random.State.int st 3) in
+  for c = 0 to k - 1 do
+    m.(c) <- !v;
+    v := !v + 1 + Random.State.int st 3
+  done;
+  fun c -> m.(c)
+
+let recolor st g =
+  let n = Cdigraph.n g in
+  let max_nc =
+    Array.fold_left max 0 (Array.init n (Cdigraph.node_color g))
+  in
+  let max_ac =
+    List.fold_left (fun a (r : Cdigraph.arc) -> max a r.color) 0
+      (Cdigraph.arcs g)
+  in
+  let fn = monotone_map st (max_nc + 1) in
+  let fa = monotone_map st (max_ac + 1) in
+  Cdigraph.make ~n
+    ~node_color:(fun u -> fn (Cdigraph.node_color g u))
+    (List.map
+       (fun (r : Cdigraph.arc) -> { r with Cdigraph.color = fa r.color })
+       (Cdigraph.arcs g))
+
+(* --- properties, 1000 random digraphs per backend --- *)
+
+let prop_renumber (kname, kernel) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: certificate invariant under renumbering" kname)
+    ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xca0; seed |] in
+      let g = random_cdigraph st in
+      let g' = Cdigraph.relabel g (random_permutation st (Cdigraph.n g)) in
+      String.equal (kernel g).Canon.certificate (kernel g').Canon.certificate)
+
+let prop_recolor (kname, kernel) =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf
+         "%s: labeling/orbits invariant under monotone recoloring" kname)
+    ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xca1; seed |] in
+      let g = random_cdigraph st in
+      let g' = recolor st g in
+      let a = kernel g and b = kernel g' in
+      a.Canon.canonical_labeling = b.Canon.canonical_labeling
+      && a.Canon.orbits = b.Canon.orbits
+      && a.Canon.leaves_visited = b.Canon.leaves_visited)
+
+let prop_cross_backend =
+  QCheck.Test.make ~name:"ocaml and c kernels agree on everything"
+    ~count:1000
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xca2; seed |] in
+      let g = random_cdigraph st in
+      let a = Canon.run_ocaml g and b = Canon.run_c g in
+      a.Canon.certificate = b.Canon.certificate
+      && a.Canon.canonical_labeling = b.Canon.canonical_labeling
+      && a.Canon.orbits = b.Canon.orbits
+      && a.Canon.generators = b.Canon.generators
+      && a.Canon.leaves_visited = b.Canon.leaves_visited)
+
+let prop_c_orbits_match_brute =
+  QCheck.Test.make ~name:"c kernel orbits = brute orbits (n <= 8)"
+    ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xca3; seed |] in
+      let g = random_cdigraph ~max_n:8 st in
+      Brute.orbits g = (Canon.run_c g).Canon.orbits)
+
+let prop_budget_parity =
+  QCheck.Test.make ~name:"Budget_exceeded fires at the same leaf count"
+    ~count:80
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xca4; seed |] in
+      let g = random_cdigraph st in
+      let leaves = (Canon.run_ocaml g).Canon.leaves_visited in
+      let raises (kernel : ?max_leaves:int -> Cdigraph.t -> Canon.result)
+          budget =
+        match kernel ~max_leaves:budget g with
+        | (_ : Canon.result) -> false
+        | exception Canon.Budget_exceeded -> true
+      in
+      QCheck.assume (leaves > 1);
+      raises Canon.run_ocaml (leaves - 1)
+      && raises Canon.run_c (leaves - 1)
+      && (not (raises Canon.run_ocaml leaves))
+      && not (raises Canon.run_c leaves))
+
+let strip_latency snap =
+  List.filter (fun (name, _) -> not (Metrics.is_latency name)) snap
+
+let snapshot_of kernel g =
+  let sink = Qe_obs.Sink.create () in
+  let (_ : Canon.result) =
+    Qe_obs.Sink.with_ambient sink (fun () -> kernel g)
+  in
+  strip_latency (Metrics.snapshot sink.Qe_obs.Sink.metrics)
+
+let prop_metric_parity =
+  QCheck.Test.make
+    ~name:"non-latency canon/refine telemetry is backend-independent"
+    ~count:150
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xca5; seed |] in
+      let g = random_cdigraph st in
+      snapshot_of Canon.run_ocaml g = snapshot_of Canon.run_c g)
+
+(* --- the Both dispatch mode --- *)
+
+let test_both_mode_agrees () =
+  Canon_backend.with_backend Canon_backend.Both (fun () ->
+      let st = Random.State.make [| 77 |] in
+      for _ = 1 to 50 do
+        let g = random_cdigraph st in
+        let r = Canon.run g in
+        Alcotest.(check string)
+          "both-mode returns the reference result"
+          (Canon.run_ocaml g).Canon.certificate r.Canon.certificate
+      done)
+
+let test_backend_selection () =
+  let initial = Canon_backend.current () in
+  Canon_backend.with_backend Canon_backend.C (fun () ->
+      Alcotest.(check string) "tag" "c" (Canon_backend.tag ());
+      let g = Cdigraph.of_graph (Qe_graph.Families.petersen ()) in
+      Alcotest.(check string)
+        "dispatched run uses the c kernel"
+        (Canon.run_c g).Canon.certificate
+        (Canon.run g).Canon.certificate);
+  Alcotest.(check bool) "selection restored" true
+    (Canon_backend.current () = initial)
+
+(* --- golden corpus: zoo fingerprints are pinned --- *)
+
+let golden_path = "data/canon_golden.txt"
+
+let read_golden () =
+  let ic = open_in golden_path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> (
+            match String.index_opt line ' ' with
+            | Some i ->
+                go
+                  ((String.sub line 0 i,
+                    String.sub line (i + 1) (String.length line - i - 1))
+                  :: acc)
+            | None -> go acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let test_golden_corpus () =
+  let golden = read_golden () in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length golden > 50);
+  let zoo = Campaign.zoo () @ Campaign.cayley_zoo () in
+  List.iter
+    (fun (backend, name) ->
+      Canon_backend.with_backend backend (fun () ->
+          List.iter
+            (fun (i : Campaign.instance) ->
+              match List.assoc_opt i.Campaign.name golden with
+              | None ->
+                  Alcotest.failf "%s missing from %s (regenerate with \
+                                  `qelect selftest --write-golden`)"
+                    i.Campaign.name golden_path
+              | Some fp ->
+                  Alcotest.(check string)
+                    (Printf.sprintf "%s fingerprint (%s backend)"
+                       i.Campaign.name name)
+                    fp
+                    (Cache.fingerprint_uncached (Campaign.bicolored i)))
+            zoo))
+    [ (Canon_backend.Ocaml, "ocaml"); (Canon_backend.C, "c") ];
+  Alcotest.(check int) "corpus covers exactly the zoo" (List.length zoo)
+    (List.length golden)
+
+let () =
+  Alcotest.run "backend"
+    [
+      ( "differential",
+        QCheck_alcotest.to_alcotest prop_cross_backend
+        :: QCheck_alcotest.to_alcotest prop_c_orbits_match_brute
+        :: QCheck_alcotest.to_alcotest prop_budget_parity
+        :: QCheck_alcotest.to_alcotest prop_metric_parity
+        :: List.concat_map
+             (fun k ->
+               [
+                 QCheck_alcotest.to_alcotest (prop_renumber k);
+                 QCheck_alcotest.to_alcotest (prop_recolor k);
+               ])
+             kernels );
+      ( "dispatch",
+        [
+          Alcotest.test_case "both mode cross-checks" `Quick
+            test_both_mode_agrees;
+          Alcotest.test_case "selection + restore" `Quick
+            test_backend_selection;
+        ] );
+      ( "golden",
+        [ Alcotest.test_case "zoo fingerprints pinned" `Quick
+            test_golden_corpus ] );
+    ]

@@ -275,9 +275,114 @@ let prop_walk_endpoint_closed =
              = src)
         [ 0; n / 2; n - 1 ])
 
+(* ---------- serial: total decoding ---------- *)
+
+module Serial = Qe_graph.Serial
+
+(* [of_string_result] must be total: whatever the bytes, it returns
+   [Ok] or a typed [Error] — never an escaping exception (the historical
+   crashes were [Invalid_argument] leaking from [Graph.of_edges] on
+   out-of-range endpoints and from [Labeling.make] on duplicate
+   symbols). *)
+let decode_total text =
+  match Serial.of_string_result text with
+  | Ok _ | Error _ -> true
+  | exception e ->
+      Alcotest.failf "of_string_result raised %s on %S"
+        (Printexc.to_string e) text
+
+let sample_text =
+  let g = Families.cycle 5 in
+  Serial.to_string ~labeling:(Labeling.standard g) ~black:[ 0; 2 ] g
+
+let test_serial_roundtrip () =
+  match Serial.of_string_result sample_text with
+  | Error e ->
+      Alcotest.failf "round-trip failed: %s" (Format.asprintf "%a" Serial.pp_error e)
+  | Ok i ->
+      Alcotest.(check int) "n" 5 (Graph.n i.Serial.graph);
+      Alcotest.(check int) "m" 5 (Graph.m i.Serial.graph);
+      Alcotest.(check (list int)) "agents" [ 0; 2 ] i.Serial.black;
+      Alcotest.(check bool) "labeling kept" true (i.Serial.labeling <> None)
+
+let test_serial_typed_errors () =
+  let cases =
+    [
+      (* header / shape *)
+      ("", "empty");
+      ("qelect-instance v2\nnodes 3\n", "bad header");
+      ("qelect-instance v1\nedges\n0 1\n", "missing node count");
+      ("qelect-instance v1\nnodes 0\n", "bad node count");
+      ("qelect-instance v1\nnodes x\n", "bad node count");
+      ("qelect-instance v1\nnodes 3\nwat\n", "junk line");
+      (* the Graph.of_edges crash: endpoints out of range *)
+      ("qelect-instance v1\nnodes 3\nedges\n0 9\n", "endpoint high");
+      ("qelect-instance v1\nnodes 3\nedges\n-1 1\n", "endpoint negative");
+      (* agents out of range / duplicated *)
+      ("qelect-instance v1\nnodes 3\nedges\n0 1\nagents 7\n", "agent high");
+      ("qelect-instance v1\nnodes 3\nedges\n0 1\nagents 0 0\n", "dup agent");
+      ("qelect-instance v1\nnodes 3\nedges\n0 1\nagents z\n", "bad agent");
+      (* labeling rows violating the port/symbol invariants *)
+      ( "qelect-instance v1\nnodes 2\nedges\n0 1\nlabeling\n0: 1 2\n1: 1\n",
+        "wrong arity" );
+      ( "qelect-instance v1\nnodes 3\nedges\n0 1\n0 2\nlabeling\n0: 1 1\n1: \
+         1\n2: 1\n",
+        "duplicate symbols (Labeling.make)" );
+      ("qelect-instance v1\nnodes 2\nedges\n0 1\nlabeling\n9: 1\n", "bad node");
+    ]
+  in
+  List.iter
+    (fun (text, what) ->
+      match Serial.of_string_result text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: accepted %S" what text
+      | exception e ->
+          Alcotest.failf "%s: raised %s" what (Printexc.to_string e))
+    cases;
+  (* the legacy raising decoder keeps its Failure contract *)
+  Alcotest.(check bool) "of_string raises Failure" true
+    (try
+       ignore (Serial.of_string "qelect-instance v1\nnodes 3\nedges\n0 9\n");
+       false
+     with Failure _ -> true)
+
+let prop_serial_truncation_total =
+  QCheck.Test.make ~name:"decode of any truncation never raises"
+    ~count:(String.length sample_text)
+    QCheck.(int_bound (String.length sample_text - 1))
+    (fun len -> decode_total (String.sub sample_text 0 len))
+
+let prop_serial_corruption_total =
+  QCheck.Test.make ~name:"decode of corrupted bytes never raises" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0x5e6; seed |] in
+      let b = Bytes.of_string sample_text in
+      let flips = 1 + Random.State.int st 6 in
+      for _ = 1 to flips do
+        let i = Random.State.int st (Bytes.length b) in
+        let c =
+          match Random.State.int st 4 with
+          | 0 -> Char.chr (Random.State.int st 256)
+          | 1 -> '-'
+          | 2 -> Char.chr (Char.code '0' + Random.State.int st 10)
+          | _ -> '\n'
+        in
+        Bytes.set b i c
+      done;
+      decode_total (Bytes.to_string b))
+
 let () =
   Alcotest.run "graph"
     [
+      ( "serial",
+        [
+          Alcotest.test_case "round-trip" `Quick test_serial_roundtrip;
+          Alcotest.test_case "malformed inputs are typed errors" `Quick
+            test_serial_typed_errors;
+          QCheck_alcotest.to_alcotest prop_serial_truncation_total;
+          QCheck_alcotest.to_alcotest prop_serial_corruption_total;
+        ] );
       ( "structure",
         [
           Alcotest.test_case "of_edges basic" `Quick test_of_edges_basic;
