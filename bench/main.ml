@@ -524,9 +524,9 @@ let figure1 () =
 
 (* ---------- the effectualness frontier (Open Problem 1) ---------- *)
 
-let frontier () =
+let mark_race_frontier () =
   section
-    "Frontier: beyond ELECT — the mark-and-race protocol on two-agent \
+    "Mark-race: beyond ELECT — the mark-and-race protocol on two-agent \
      instances";
   print_endline
     "mark-race generalizes the Petersen ad-hoc protocol: mark a neighbor,\n\
@@ -856,7 +856,7 @@ let sigma_explorer () =
 
 (* Bumped once per PR that changes the perf landscape; the emitted
    BENCH_<n>.json files at the repo root form the tracked trajectory. *)
-let bench_revision = 9
+let bench_revision = 10
 
 (* Sections deposit their numbers here and every write re-emits all of
    them, so `bench perf par-scaling cache` composes one complete
@@ -868,6 +868,7 @@ let recorded_cache : (string * float) list ref = ref []
 let recorded_exposition : (string * float) list ref = ref []
 let recorded_resilience : (string * float) list ref = ref []
 let recorded_backends : (string * float) list ref = ref []
+let recorded_frontier : (string * float) list ref = ref []
 
 let write_bench_json path =
   let buf = Buffer.create 1024 in
@@ -907,6 +908,9 @@ let write_bench_json path =
   Buffer.add_string buf "  },\n";
   Buffer.add_string buf "  \"canon_backends\": {\n";
   obj "%S: %.3f" !recorded_backends;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"frontier\": {\n";
+  obj "%S: %.3f" !recorded_frontier;
   Buffer.add_string buf "  }\n}\n";
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents buf))
@@ -1901,6 +1905,153 @@ let canon_backends () =
     exit 1
   end
 
+(* ---------- the instance-size frontier (CSR + transitivity fast path) ---------- *)
+
+(* Macro-benchmark, not Bechamel: each rung runs once and reports
+   ns/node for generation (presentation group streamed into CSR) and for
+   the uniform all-black class computation (the transitivity fast path).
+   The smallest rung is the hygiene gate — the fast path must agree with
+   the full automorphism search partition-for-partition and be at least
+   10x faster, or the section exits 1. *)
+let frontier_bench () =
+  section "Frontier: 10^5-node Cayley instances, CSR pipeline, fast path";
+  let module P = Qe_group.Presentation in
+  let module Classes = Qe_symmetry.Classes in
+  let now = Qe_obs.Clock.now_ns in
+  let partitions_agree n a b =
+    Classes.num_classes a = Classes.num_classes b
+    &&
+    let map = Array.make (Classes.num_classes a) (-1) in
+    let ok = ref true in
+    for u = 0 to n - 1 do
+      let ca = Classes.class_of_node a u and cb = Classes.class_of_node b u in
+      if map.(ca) = -1 then map.(ca) <- cb
+      else if map.(ca) <> cb then ok := false
+    done;
+    !ok
+  in
+  (* hygiene rung: small enough for the full search, big enough that the
+     skipped search is measurable *)
+  let gate_ok =
+    let inst = P.circulant 256 [ 1; 3 ] in
+    let g = inst.P.graph in
+    let n = Graph.n g in
+    let b = Bicolored.make g ~black:(List.init n Fun.id) in
+    let t0 = now () in
+    let fast = Qe_symmetry.Classes.compute b in
+    let fast_ns = now () - t0 in
+    let t1 = now () in
+    let slow = Qe_symmetry.Classes.compute_slow b in
+    let slow_ns = now () - t1 in
+    let agree = partitions_agree n fast slow in
+    let speedup = float_of_int slow_ns /. float_of_int (max 1 fast_ns) in
+    Printf.printf
+      "gate circulant:256:1,3 — fast %s (%d classes) vs full search: \
+       partitions %s, %.1fx faster\n"
+      (if Classes.used_fast_path fast then "path taken" else "PATH NOT TAKEN")
+      (Classes.num_classes fast)
+      (if agree then "agree" else "DISAGREE")
+      speedup;
+    recorded_frontier :=
+      !recorded_frontier @ [ ("fastpath-speedup/circulant-256", speedup) ];
+    Classes.used_fast_path fast && agree && speedup >= 10.
+  in
+  (* the size ladder: generation + classes, ns/node *)
+  let ladder =
+    [
+      ("circulant-4096", fun () -> (P.circulant 4096 [ 1; 3 ]).P.graph);
+      ("ccc-10", fun () -> (P.cube_connected_cycles 10).P.graph);
+      ( "circulant-100000",
+        fun () -> (P.circulant 100_000 [ 1; 3; 9 ]).P.graph );
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, build) ->
+        let t0 = now () in
+        let g = build () in
+        let gen_ns = now () - t0 in
+        let n = Graph.n g in
+        let b = Bicolored.make g ~black:(List.init n Fun.id) in
+        let t1 = now () in
+        let cls = Qe_symmetry.Classes.compute b in
+        let cls_ns = now () - t1 in
+        let per ns = float_of_int ns /. float_of_int n in
+        recorded_frontier :=
+          !recorded_frontier
+          @ [
+              ("gen-ns-per-node/" ^ name, per gen_ns);
+              ("classes-ns-per-node/" ^ name, per cls_ns);
+            ];
+        [
+          name;
+          string_of_int n;
+          string_of_int (Graph.m g);
+          Printf.sprintf "%.0f" (per gen_ns);
+          Printf.sprintf "%.0f" (per cls_ns);
+          (if Classes.used_fast_path cls then "fast" else "full");
+          string_of_int (Classes.num_classes cls);
+        ])
+      ladder
+  in
+  print_table
+    [ "instance"; "n"; "m"; "gen ns/node"; "classes ns/node"; "path"; "k" ]
+    rows;
+  let stat = Gc.quick_stat () in
+  let peak_mb =
+    float_of_int stat.Gc.top_heap_words
+    *. float_of_int (Sys.word_size / 8)
+    /. (1024. *. 1024.)
+  in
+  Printf.printf "peak major heap: %.1f MB\n" peak_mb;
+  recorded_frontier := !recorded_frontier @ [ ("peak-heap-mb", peak_mb) ];
+  let out = Printf.sprintf "BENCH_%d.json" bench_revision in
+  write_bench_json out;
+  Printf.printf "wrote %s\n" out;
+  (* ns/node deltas against the previous tracked revision, where the
+     keys exist (older revisions predate this section) *)
+  let prev = Printf.sprintf "BENCH_%d.json" (bench_revision - 1) in
+  if Sys.file_exists prev then begin
+    let prev_vals = ref [] in
+    In_channel.with_open_text prev (fun ic ->
+        try
+          while true do
+            let line = String.trim (input_line ic) in
+            match String.index_opt line ':' with
+            | Some i when String.length line > 2 && line.[0] = '"' ->
+                let name = String.sub line 1 (i - 2) in
+                let v = String.sub line (i + 1) (String.length line - i - 1) in
+                let v =
+                  String.trim
+                    (if String.length v > 0 && v.[String.length v - 1] = ','
+                     then String.sub v 0 (String.length v - 1)
+                     else v)
+                in
+                (match float_of_string_opt v with
+                | Some f -> prev_vals := (name, f) :: !prev_vals
+                | None -> ())
+            | _ -> ()
+          done
+        with End_of_file -> ());
+    let any = ref false in
+    List.iter
+      (fun (name, v) ->
+        match List.assoc_opt name !prev_vals with
+        | Some p when p > 0. ->
+            if not !any then Printf.printf "\nvs %s:\n" prev;
+            any := true;
+            Printf.printf "  %-36s %+6.1f%%\n" name (100. *. ((v /. p) -. 1.))
+        | _ -> ())
+      !recorded_frontier;
+    if not !any then
+      Printf.printf "(no frontier keys in %s — section is new this revision)\n"
+        prev
+  end;
+  if not gate_ok then begin
+    print_endline "FAIL: fast-path gate (agreement and >= 10x)";
+    exit 1
+  end
+
 (* ---------- driver ---------- *)
 
 let sections =
@@ -1914,7 +2065,7 @@ let sections =
     ("thm31_complexity", thm31_complexity);
     ("thm41", thm41);
     ("figure1", figure1);
-    ("frontier", frontier);
+    ("mark-race", mark_race_frontier);
     ("ablation", ablation);
     ("yk_views", yk_views);
     ("sigma_explorer", sigma_explorer);
@@ -1926,6 +2077,7 @@ let sections =
     ("exposition", exposition);
     ("resilience", resilience);
     ("canon-backends", canon_backends);
+    ("frontier", frontier_bench);
   ]
 
 let () =

@@ -1045,6 +1045,184 @@ let selftest_cmd random_count jobs brute_cap write_golden dump_path =
     `Ok ()
   with Failure msg -> `Error (false, msg)
 
+(* ---------- frontier ---------- *)
+
+module Presentation = Qe_group.Presentation
+
+(* Large-instance specs: Presentation-backed Cayley families streamed
+   straight into CSR. Deliberately separate from [parse_graph] — these
+   are the generators that scale to 10^5-10^6 nodes without building a
+   multiplication table or an edge list. Jump lists accept ',' or '+'
+   separators ('+' survives shells and CI YAML unquoted). *)
+let parse_frontier_spec spec =
+  let ints s =
+    String.split_on_char ','
+      (String.map (fun c -> if c = '+' then ',' else c) s)
+    |> List.map int_of_string
+  in
+  match String.split_on_char ':' spec with
+  | [ "circulant"; n; jumps ] ->
+      Presentation.circulant (int_of_string n) (ints jumps)
+  | [ "ccc"; d ] -> Presentation.cube_connected_cycles (int_of_string d)
+  | [ "hypercube"; d ] ->
+      let d = int_of_string d in
+      Presentation.cayley
+        (Presentation.power (Presentation.cyclic 2) d)
+        (List.init d (fun i -> 1 lsl i))
+  | [ "torus"; dims ] -> (
+      match String.split_on_char 'x' dims with
+      | [ a; b ] ->
+          let a = int_of_string a and b = int_of_string b in
+          if a < 3 || b < 3 then failwith "torus spec: sides must be >= 3";
+          Presentation.cayley
+            (Presentation.product (Presentation.cyclic a)
+               (Presentation.cyclic b))
+            [ b (* (1,0) *); 1 (* (0,1) *) ]
+      | _ -> failwith "torus spec: torus:AxB")
+  | [ "dihedral"; n ] ->
+      let n = int_of_string n in
+      Presentation.cayley (Presentation.dihedral n) [ n; n + 1 ]
+  | [ "wreath"; base; d ] ->
+      let base = int_of_string base and d = int_of_string d in
+      (* shift = (0, 1) is element 1; the first-coordinate bump (e_0, 0)
+         is element d — for base 2 this is exactly CCC_d *)
+      Presentation.cayley (Presentation.wreath_shift ~base d) [ 1; d ]
+  | _ ->
+      failwith
+        (spec
+       ^ ": unknown frontier spec (try circulant:100000:1+3+9, ccc:13, \
+          hypercube:17, torus:300x400, dihedral:50000, wreath:3:10)")
+
+type frontier_row = {
+  fr_spec : string;
+  fr_n : int;
+  fr_m : int;
+  fr_gen_ns : int;
+  fr_classes_ns : int;
+  fr_num_classes : int;
+  fr_fast : bool;
+  fr_predict : Oracle.prediction;
+  fr_predict_ns : int;
+  fr_slow : (bool * int) option;
+      (** [--slow-check]: partitions agree?, slow-path ns *)
+}
+
+(* The full-search baseline stays affordable only on small rungs. *)
+let slow_check_limit = 4096
+
+(* Two class structures describe the same partition iff the class counts
+   match and the induced class map is consistent on every node (equal
+   counts + total cover make a consistent map a bijection). *)
+let partitions_agree n a b =
+  Classes.num_classes a = Classes.num_classes b
+  &&
+  let map = Array.make (Classes.num_classes a) (-1) in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    let ca = Classes.class_of_node a u and cb = Classes.class_of_node b u in
+    if map.(ca) = -1 then map.(ca) <- cb else if map.(ca) <> cb then ok := false
+  done;
+  !ok
+
+let frontier_measure slow_check spec =
+  let now = Qe_obs.Clock.now_ns in
+  let t0 = now () in
+  let inst = parse_frontier_spec spec in
+  let g = inst.Presentation.graph in
+  let gen_ns = now () - t0 in
+  let n = Graph.n g in
+  let b = Bicolored.make g ~black:(List.init n Fun.id) in
+  let t1 = now () in
+  let cls = Classes.compute b in
+  let classes_ns = now () - t1 in
+  let t2 = now () in
+  let predict = Oracle.predict b in
+  let predict_ns = now () - t2 in
+  let slow =
+    if not slow_check then None
+    else if n > slow_check_limit then None
+    else begin
+      let t3 = now () in
+      let slow_cls = Classes.compute_slow b in
+      let slow_ns = now () - t3 in
+      Some (partitions_agree n cls slow_cls, slow_ns)
+    end
+  in
+  {
+    fr_spec = spec;
+    fr_n = n;
+    fr_m = Graph.m g;
+    fr_gen_ns = gen_ns;
+    fr_classes_ns = classes_ns;
+    fr_num_classes = Classes.num_classes cls;
+    fr_fast = Classes.used_fast_path cls;
+    fr_predict = predict;
+    fr_predict_ns = predict_ns;
+    fr_slow = slow;
+  }
+
+let frontier_cmd backend specs jobs budget_mb slow_check =
+  try
+    Option.iter Canon_backend.select backend;
+    if specs = [] then failwith "need at least one --spec (e.g. --spec circulant:100000:1+3+9)";
+    let jobs = resolve_jobs jobs in
+    let rows =
+      if jobs = 1 || List.length specs = 1 then
+        Array.of_list (List.map (frontier_measure slow_check) specs)
+      else begin
+        let pool = Qe_par.Pool.create ~jobs () in
+        Fun.protect
+          ~finally:(fun () -> Qe_par.Pool.shutdown pool)
+          (fun () ->
+            Qe_par.Pool.map pool
+              ~f:(fun _ spec -> frontier_measure slow_check spec)
+              (Array.of_list specs))
+      end
+    in
+    let per_node ns n = float_of_int ns /. float_of_int (max 1 n) in
+    Array.iter
+      (fun r ->
+        Printf.printf
+          "%s: n=%d m=%d | generate %.1f ms (%.0f ns/node) | classes=%d \
+           (%s) %.1f ms (%.0f ns/node) | predict=%s %.1f ms\n"
+          r.fr_spec r.fr_n r.fr_m
+          (float_of_int r.fr_gen_ns /. 1e6)
+          (per_node r.fr_gen_ns r.fr_n)
+          r.fr_num_classes
+          (if r.fr_fast then "fast path" else "full search")
+          (float_of_int r.fr_classes_ns /. 1e6)
+          (per_node r.fr_classes_ns r.fr_n)
+          (Format.asprintf "%a" Oracle.pp_prediction r.fr_predict)
+          (float_of_int r.fr_predict_ns /. 1e6);
+        match r.fr_slow with
+        | None ->
+            if slow_check && r.fr_n > slow_check_limit then
+              Printf.printf
+                "  slow-check skipped: n=%d exceeds the full-search limit \
+                 (%d)\n"
+                r.fr_n slow_check_limit
+        | Some (agree, slow_ns) ->
+            Printf.printf
+              "  slow-check: partitions %s, full search %.1f ms (fast path \
+               %.1fx faster)\n"
+              (if agree then "agree" else "DISAGREE")
+              (float_of_int slow_ns /. 1e6)
+              (float_of_int slow_ns /. float_of_int (max 1 r.fr_classes_ns));
+            if not agree then outcome_exit_code := 1)
+      rows;
+    let stat = Gc.quick_stat () in
+    let word_mb = float_of_int (Sys.word_size / 8) /. (1024. *. 1024.) in
+    let peak_mb = float_of_int stat.Gc.top_heap_words *. word_mb in
+    Printf.printf "peak major heap: %.1f MB (top_heap_words=%d)\n" peak_mb
+      stat.Gc.top_heap_words;
+    (match budget_mb with
+    | Some budget when peak_mb > float_of_int budget ->
+        Printf.printf "HEAP BUDGET EXCEEDED: %.1f MB > %d MB\n" peak_mb budget;
+        outcome_exit_code := 1
+    | _ -> ());
+    `Ok ()
+  with Failure msg -> `Error (false, msg) | e -> catch_divergence e
+
 (* ---------- cmdliner plumbing ---------- *)
 
 let backend_arg =
@@ -1350,6 +1528,41 @@ let selftest_term =
       (const selftest_cmd $ selftest_random_arg $ jobs_arg
      $ selftest_brute_cap_arg $ write_golden_arg $ dump_arg))
 
+let frontier_specs_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "spec" ]
+        ~doc:
+          "A large-instance spec (repeatable): \
+           $(b,circulant:N:j1+j2+...), $(b,ccc:D), $(b,hypercube:D), \
+           $(b,torus:AxB), $(b,dihedral:N), $(b,wreath:BASE:D)."
+        ~docv:"SPEC")
+
+let budget_mb_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "budget-mb" ]
+        ~doc:
+          "Fail (exit 1) if the peak major heap exceeds $(docv) megabytes \
+           — the memory-boundedness gate used by CI."
+        ~docv:"MB")
+
+let slow_check_arg =
+  Arg.(
+    value & flag
+    & info [ "slow-check" ]
+        ~doc:
+          "On specs small enough for the full automorphism search, also \
+           run it and verify the fast-path class partition matches \
+           (exit 1 on disagreement).")
+
+let frontier_term =
+  Term.(
+    ret
+      (const frontier_cmd $ backend_arg $ frontier_specs_arg $ jobs_arg
+     $ budget_mb_arg $ slow_check_arg))
+
 let run_exits =
   Cmd.Exit.info exit_deadlock ~doc:"The run ended in a deadlock."
   :: Cmd.Exit.info exit_stuck
@@ -1434,6 +1647,18 @@ let cmds =
             nodes. Exits 9 with a minimized counterexample dump on any \
             divergence.")
       selftest_term;
+    Cmd.v
+      (Cmd.info "frontier"
+         ~doc:
+           "Exercise the 10^5-node instance frontier: generate large \
+            Cayley instances straight into CSR (presentation-backed, no \
+            edge lists or per-node tables), compute classes and the \
+            oracle prediction on the uniform all-black placement, and \
+            report ns/node plus peak heap. $(b,--budget-mb) turns the \
+            heap figure into a gate; $(b,--slow-check) differentially \
+            verifies the transitivity fast path against the full \
+            automorphism search on small specs.")
+      frontier_term;
   ]
 
 let () =

@@ -155,16 +155,15 @@ let explore (ctx : Protocol.ctx) =
   in
   let seen_loop_first = Hashtbl.create 8 in
   for u = 0 to n - 1 do
-    Array.iteri
-      (fun gp (d : Graph.dart) ->
-        let pi, pj = edge_ports.(d.edge) in
-        let a, b = Graph.edge_endpoints graph d.edge in
+    Graph.iter_darts graph u (fun gp _dst _dst_port edge ->
+        let pi, pj = edge_ports.(edge) in
+        let a, b = Graph.edge_endpoints graph edge in
         let xp =
           if a = b then begin
             (* loop: the first of the two graph ports carries pi *)
-            if Hashtbl.mem seen_loop_first (d.edge, u) then pj
+            if Hashtbl.mem seen_loop_first (edge, u) then pj
             else begin
-              Hashtbl.add seen_loop_first (d.edge, u) ();
+              Hashtbl.add seen_loop_first (edge, u) ();
               pi
             end
           end
@@ -172,7 +171,6 @@ let explore (ctx : Protocol.ctx) =
           else pj
         in
         port_symbols.(u).(gp) <- nodes.(u).xports.(xp))
-      (Graph.darts graph u)
   done;
   (* agent-local integer coding of symbols, for the labeling view *)
   let sym_codes = Symbol.Tbl.create 16 in

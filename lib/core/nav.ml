@@ -28,16 +28,13 @@ let goto t target =
     Queue.add target q;
     while not (Queue.is_empty q) do
       let v = Queue.pop q in
-      Array.iteri
-        (fun j (d : Graph.dart) ->
-          if dist.(d.dst) = max_int then begin
-            dist.(d.dst) <- dist.(v) + 1;
-            (* from d.dst, moving through its port d.dst_port reaches v *)
-            via.(d.dst) <- d.dst_port;
-            Queue.add d.dst q
-          end
-          else ignore j)
-        (Graph.darts g v)
+      Graph.iter_darts g v (fun _port dst dst_port _edge ->
+          if dist.(dst) = max_int then begin
+            dist.(dst) <- dist.(v) + 1;
+            (* from dst, moving through its port dst_port reaches v *)
+            via.(dst) <- dst_port;
+            Queue.add dst q
+          end)
     done;
     let last = ref None in
     while t.pos <> target do
@@ -48,7 +45,7 @@ let goto t target =
 
 let tour t f =
   let g = Mapping.graph t.map in
-  let walk = Qe_graph.Traverse.closed_node_walk g t.pos in
+  let walk = Qe_graph.Traverse.closed_node_walk_array g t.pos in
   let seen = Array.make (Graph.n g) false in
   let apply obs =
     if not seen.(t.pos) then begin
@@ -57,7 +54,7 @@ let tour t f =
     end
   in
   apply (Script.observe ());
-  List.iter (fun port -> apply (step t port)) walk
+  Array.iter (fun port -> apply (step t port)) walk
 
 let wait_here (_ : t) pred =
   let rec loop obs =

@@ -32,10 +32,32 @@ let gcd_classes b =
 let elect_prediction b =
   if gcd_classes b = 1 then `Elects else `Reports_failure
 
+(* Fast positive evidence for [translation_impossible], usable at the
+   10⁵-node frontier where the regular-subgroup search is hopeless.
+   When the uniform all-black placement sits on a graph whose attached
+   transitivity witness passes {!Qe_symmetry.Transitive.certified_regular}
+   — a verified non-identity, fixed-point-free translation drawn from a
+   sample-checked regular family — that translation preserves the
+   (all-black) placement, which is exactly the search's success
+   condition. Only [Some true] ever comes from here: anything
+   inconclusive falls through to the exhaustive search, so negative
+   answers keep their original meaning. *)
+let translation_impossible_fast b =
+  let g = Bicolored.graph b in
+  let n = Graph.n g in
+  if n < 2 || Bicolored.num_blacks b <> n then None
+  else
+    match Qe_symmetry.Transitive.certified_regular g with
+    | Some _phi -> Some true
+    | None -> None
+
 let translation_impossible b =
   Cache.memo translation_tbl ~key:(Cache.exact_key b) (fun () ->
-      Cayley_detect.exists_preserving_translation (Bicolored.graph b)
-        ~black:(Bicolored.blacks b))
+      match translation_impossible_fast b with
+      | Some verdict -> verdict
+      | None ->
+          Cayley_detect.exists_preserving_translation (Bicolored.graph b)
+            ~black:(Bicolored.blacks b))
 
 let symmetric_labeling_exists b =
   Cache.memo symlab_tbl ~key:(Cache.exact_key b) @@ fun () ->

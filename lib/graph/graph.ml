@@ -1,11 +1,17 @@
 type dart = { dst : int; dst_port : int; edge : int }
 
-type t = {
-  n : int;
-  m : int;
-  ports : dart array array;
-  edge_list : (int * int) array;
+type witness = {
+  w_gens : int array array;
+  w_translation : int -> int array;
 }
+
+type t = {
+  csr : Csr.t;
+  mutable witness : witness option;
+  mutable witness_verdict : bool option;
+}
+
+let of_csr csr = { csr; witness = None; witness_verdict = None }
 
 let of_edges ~n edges =
   if n <= 0 then invalid_arg "Graph.of_edges: n must be positive";
@@ -14,74 +20,100 @@ let of_edges ~n edges =
       invalid_arg (Printf.sprintf "Graph.of_edges: endpoint %d out of range" u)
   in
   List.iter (fun (u, v) -> check u; check v) edges;
-  let edge_list = Array.of_list edges in
-  let m = Array.length edge_list in
-  let bufs = Array.init n (fun _ -> ref []) in
-  let push u d = bufs.(u) := d :: !(bufs.(u)) in
-  (* First pass assigns port indices in order of appearance. *)
-  let deg = Array.make n 0 in
-  let slots =
-    Array.mapi
-      (fun e (u, v) ->
-        let pu = deg.(u) in
-        deg.(u) <- deg.(u) + 1;
-        let pv = deg.(v) in
-        deg.(v) <- deg.(v) + 1;
-        (e, u, pu, v, pv))
-      edge_list
-  in
-  Array.iter
-    (fun (e, u, pu, v, pv) ->
-      push u { dst = v; dst_port = pv; edge = e };
-      push v { dst = u; dst_port = pu; edge = e })
-    slots;
-  let ports = Array.map (fun buf -> Array.of_list (List.rev !buf)) bufs in
-  { n; m; ports; edge_list }
+  let m = List.length edges in
+  let edge_u = Array.make m 0 and edge_v = Array.make m 0 in
+  List.iteri
+    (fun e (u, v) ->
+      edge_u.(e) <- u;
+      edge_v.(e) <- v)
+    edges;
+  of_csr (Csr.of_endpoints ~n edge_u edge_v)
 
-let n g = g.n
-let m g = g.m
-let degree g u = Array.length g.ports.(u)
-
-let max_degree g =
-  Array.fold_left (fun acc a -> max acc (Array.length a)) 0 g.ports
+let csr g = g.csr
+let n g = g.csr.Csr.n
+let m g = g.csr.Csr.m
+let degree g u = Csr.degree g.csr u
+let max_degree g = Csr.max_degree g.csr
 
 let dart g u i =
   if i < 0 || i >= degree g u then invalid_arg "Graph.dart: port out of range";
-  g.ports.(u).(i)
+  let a = g.csr.Csr.off.(u) + i in
+  {
+    dst = g.csr.Csr.dst.(a);
+    dst_port = g.csr.Csr.dst_port.(a);
+    edge = g.csr.Csr.edge.(a);
+  }
 
-let darts g u = Array.copy g.ports.(u)
-let neighbors g u = Array.to_list (Array.map (fun d -> d.dst) g.ports.(u))
-let edges g = Array.to_list g.edge_list
-let edge_endpoints g e = g.edge_list.(e)
+let darts g u =
+  let lo = g.csr.Csr.off.(u) in
+  Array.init (degree g u) (fun i ->
+      let a = lo + i in
+      {
+        dst = g.csr.Csr.dst.(a);
+        dst_port = g.csr.Csr.dst_port.(a);
+        edge = g.csr.Csr.edge.(a);
+      })
+
+let iter_darts g u f = Csr.iter_darts g.csr u f
+let fold_darts_at g u ~init ~f = Csr.fold_darts g.csr u ~init ~f
+
+let neighbors g u =
+  let lo = g.csr.Csr.off.(u) and hi = g.csr.Csr.off.(u + 1) in
+  let rec go a = if a >= hi then [] else g.csr.Csr.dst.(a) :: go (a + 1) in
+  go lo
+
+let edges g =
+  let m = g.csr.Csr.m in
+  let rec go e =
+    if e >= m then []
+    else (g.csr.Csr.edge_u.(e), g.csr.Csr.edge_v.(e)) :: go (e + 1)
+  in
+  go 0
+
+let edge_endpoints g e = (g.csr.Csr.edge_u.(e), g.csr.Csr.edge_v.(e))
 
 let fold_darts g ~init ~f =
   let acc = ref init in
-  for u = 0 to g.n - 1 do
-    Array.iteri (fun i d -> acc := f !acc u i d) g.ports.(u)
+  for u = 0 to n g - 1 do
+    iter_darts g u (fun i dst dst_port edge ->
+        acc := f !acc u i { dst; dst_port; edge })
   done;
   !acc
 
 let is_simple g =
   let ok = ref true in
-  Array.iter
-    (fun (u, v) -> if u = v then ok := false)
-    g.edge_list;
+  let eu = g.csr.Csr.edge_u and ev = g.csr.Csr.edge_v in
+  Array.iteri (fun e u -> if u = ev.(e) then ok := false) eu;
   if !ok then begin
-    let seen = Hashtbl.create (2 * g.m) in
-    Array.iter
-      (fun (u, v) ->
+    let seen = Hashtbl.create (2 * m g) in
+    Array.iteri
+      (fun e u ->
+        let v = ev.(e) in
         let key = (min u v, max u v) in
         if Hashtbl.mem seen key then ok := false else Hashtbl.add seen key ())
-      g.edge_list
+      eu
   end;
   !ok
 
 let equal_structure a b =
-  a.n = b.n && a.edge_list = b.edge_list
+  a.csr.Csr.n = b.csr.Csr.n
+  && a.csr.Csr.edge_u = b.csr.Csr.edge_u
+  && a.csr.Csr.edge_v = b.csr.Csr.edge_v
 
 let pp ppf g =
-  Format.fprintf ppf "@[<v>graph n=%d m=%d@," g.n g.m;
+  Format.fprintf ppf "@[<v>graph n=%d m=%d@," (n g) (m g);
   Array.iteri
-    (fun e (u, v) -> Format.fprintf ppf "  e%d: %d -- %d@," e u v)
-    g.edge_list;
+    (fun e u -> Format.fprintf ppf "  e%d: %d -- %d@," e u g.csr.Csr.edge_v.(e))
+    g.csr.Csr.edge_u;
   Format.fprintf ppf "@]"
+
+(* Witnesses are set at construction time (before a graph is shared
+   across domains); the verdict cache is an idempotent single-word
+   write, so a benign race re-verifies at worst. *)
+let set_transitivity_witness g w =
+  g.witness <- Some w;
+  g.witness_verdict <- None
+
+let transitivity_witness g = g.witness
+let witness_verdict g = g.witness_verdict
+let set_witness_verdict g v = g.witness_verdict <- Some v

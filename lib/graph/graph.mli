@@ -5,10 +5,16 @@
     (dart endpoints); loops and parallel edges are supported (the paper's
     Figure 2(c) uses both). Port labels live in {!Labeling}, separate from
     the structure, because a single structure admits many labelings and
-    protocols must work under all of them. *)
+    protocols must work under all of them.
+
+    Internally a graph is a {!Csr.t} — flat int arrays shared by every
+    layer of the pipeline. The dart-record API below is kept for
+    compatibility; hot paths should use {!iter_darts}/{!fold_darts_at},
+    which touch no heap. *)
 
 type t
-(** An undirected multigraph. Immutable once built. *)
+(** An undirected multigraph. Structure is immutable once built; an
+    optional transitivity witness (see below) may be attached later. *)
 
 type dart = { dst : int; dst_port : int; edge : int }
 (** One endpoint's view of an incident edge: the opposite endpoint [dst],
@@ -20,6 +26,13 @@ val of_edges : n:int -> (int * int) list -> t
     assigned per node in order of appearance. A loop [(u, u)] occupies two
     ports at [u].
     @raise Invalid_argument on out-of-range endpoints or [n <= 0]. *)
+
+val of_csr : Csr.t -> t
+(** Wrap an already-built CSR adjacency — the zero-copy entry point for
+    large generated instances. *)
+
+val csr : t -> Csr.t
+(** The underlying flat adjacency. O(1), no copy. *)
 
 val n : t -> int
 (** Number of nodes. *)
@@ -37,7 +50,17 @@ val dart : t -> int -> int -> dart
     @raise Invalid_argument if [i] is out of range. *)
 
 val darts : t -> int -> dart array
-(** All darts at a node, indexed by port. The array is fresh. *)
+(** All darts at a node, indexed by port. The array is fresh. Compat
+    shim — prefer {!iter_darts} on hot paths. *)
+
+val iter_darts : t -> int -> (int -> int -> int -> int -> unit) -> unit
+(** [iter_darts g u f] calls [f port dst dst_port edge] for every dart of
+    [u] in port order. Allocation-free. *)
+
+val fold_darts_at :
+  t -> int -> init:'a -> f:('a -> int -> int -> int -> int -> 'a) -> 'a
+(** Allocation-free fold over one node's darts:
+    [f acc port dst dst_port edge]. *)
 
 val neighbors : t -> int -> int list
 (** Opposite endpoints of all ports at [u], with multiplicity, in port
@@ -51,13 +74,45 @@ val edge_endpoints : t -> int -> int * int
 
 val fold_darts : t -> init:'a -> f:('a -> int -> int -> dart -> 'a) -> 'a
 (** [fold_darts g ~init ~f] folds [f acc u i d] over every dart (node [u],
-    port [i]). *)
+    port [i]). Allocates one record per dart — compat shim. *)
 
 val is_simple : t -> bool
 (** No loops and no parallel edges. *)
 
 val equal_structure : t -> t -> bool
-(** Same node count and identical port tables — structural identity, not
+(** Same node count and identical edge list — structural identity, not
     isomorphism. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {1 Transitivity witnesses}
+
+    A constructor that knows its graph is vertex-transitive (Cayley
+    builders, the presentation generator, {!Qe_symmetry.Cayley_detect})
+    can attach a witness: a set of claimed automorphism generators whose
+    group acts transitively, plus a translation oracle [w ↦ λ] with
+    [λ 0 = w] (left translations of the underlying group, so every
+    non-identity [λ] is fixed-point-free). The witness is {e untrusted}:
+    consumers must verify it — [Qe_symmetry.Transitive.certified] checks
+    each generator is a genuine automorphism and that the generated group
+    has one orbit, then caches the verdict here. *)
+
+type witness = {
+  w_gens : int array array;
+      (** claimed automorphism generators, each a permutation of nodes *)
+  w_translation : int -> int array;
+      (** [w_translation w] is a claimed automorphism sending node 0 to
+          [w]; fixed-point-free for [w <> 0] by group-translation
+          provenance *)
+}
+
+val set_transitivity_witness : t -> witness -> unit
+(** Attach a witness (resets any cached verdict). Call at construction
+    time, before the graph is shared across domains. *)
+
+val transitivity_witness : t -> witness option
+
+val witness_verdict : t -> bool option
+(** Cached verification result, if a consumer already checked. *)
+
+val set_witness_verdict : t -> bool -> unit

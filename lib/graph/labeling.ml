@@ -1,17 +1,30 @@
 type t = { graph : Graph.t; table : int array array }
 
+(* One scratch buffer reused across nodes (sorted prefix + adjacent
+   scan) — validating a 10^5-node labeling allocates O(max_degree), not
+   a Hashtbl per node. *)
 let validate g table =
+  let scratch = Array.make (max 1 (Graph.max_degree g)) 0 in
   for u = 0 to Graph.n g - 1 do
     let syms = table.(u) in
-    let seen = Hashtbl.create 8 in
-    Array.iter
-      (fun s ->
-        if Hashtbl.mem seen s then
-          invalid_arg
-            (Printf.sprintf
-               "Labeling: node %d carries symbol %d on two ports" u s)
-        else Hashtbl.add seen s ())
-      syms
+    let len = Array.length syms in
+    Array.blit syms 0 scratch 0 len;
+    (* insertion sort of the prefix: degrees are small *)
+    for i = 1 to len - 1 do
+      let x = scratch.(i) in
+      let j = ref (i - 1) in
+      while !j >= 0 && scratch.(!j) > x do
+        scratch.(!j + 1) <- scratch.(!j);
+        decr j
+      done;
+      scratch.(!j + 1) <- x
+    done;
+    for i = 0 to len - 2 do
+      if scratch.(i) = scratch.(i + 1) then
+        invalid_arg
+          (Printf.sprintf "Labeling: node %d carries symbol %d on two ports" u
+             scratch.(i))
+    done
   done
 
 let make g f =

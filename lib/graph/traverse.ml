@@ -1,18 +1,28 @@
+(* All traversals run directly on the shared CSR arrays: no dart records,
+   no per-visit arrays, no recursion (so 10^6-node instances neither
+   allocate per node nor overflow the stack). *)
+
 let bfs_distances g src =
-  let n = Graph.n g in
+  let c = Graph.csr g in
+  let n = c.Csr.n in
+  let off = c.Csr.off and dst = c.Csr.dst in
   let dist = Array.make n max_int in
   dist.(src) <- 0;
-  let q = Queue.create () in
-  Queue.add src q;
-  while not (Queue.is_empty q) do
-    let u = Queue.pop q in
-    Array.iter
-      (fun (d : Graph.dart) ->
-        if dist.(d.dst) = max_int then begin
-          dist.(d.dst) <- dist.(u) + 1;
-          Queue.add d.dst q
-        end)
-      (Graph.darts g u)
+  let q = Array.make n 0 in
+  q.(0) <- src;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = q.(!head) in
+    incr head;
+    let du = dist.(u) + 1 in
+    for a = off.(u) to off.(u + 1) - 1 do
+      let v = dst.(a) in
+      if dist.(v) = max_int then begin
+        dist.(v) <- du;
+        q.(!tail) <- v;
+        incr tail
+      end
+    done
   done;
   dist
 
@@ -34,88 +44,162 @@ let diameter g =
   !best
 
 let dfs_preorder g src =
-  let n = Graph.n g in
+  let c = Graph.csr g in
+  let n = c.Csr.n in
+  let off = c.Csr.off and dst = c.Csr.dst in
   let seen = Array.make n false in
-  let order = ref [] in
-  let rec go u =
+  let order = Array.make n 0 in
+  let count = ref 0 in
+  let node = Array.make n 0 and cur = Array.make n 0 in
+  let push u =
     seen.(u) <- true;
-    order := u :: !order;
-    Array.iter (fun (d : Graph.dart) -> if not seen.(d.dst) then go d.dst)
-      (Graph.darts g u)
+    order.(!count) <- u;
+    incr count
   in
-  go src;
-  List.rev !order
+  let sp = ref 1 in
+  node.(0) <- src;
+  cur.(0) <- 0;
+  push src;
+  while !sp > 0 do
+    let u = node.(!sp - 1) in
+    let a = off.(u) + cur.(!sp - 1) in
+    if a = off.(u + 1) then decr sp
+    else begin
+      cur.(!sp - 1) <- cur.(!sp - 1) + 1;
+      let v = dst.(a) in
+      if not seen.(v) then begin
+        push v;
+        node.(!sp) <- v;
+        cur.(!sp) <- 0;
+        incr sp
+      end
+    end
+  done;
+  Array.to_list (Array.sub order 0 !count)
 
 let require_connected g name =
   if not (is_connected g) then invalid_arg (name ^ ": disconnected graph")
 
 (* DFS over the spanning tree; each tree edge contributes a down-step and,
    on the way back, an up-step (the reverse port). *)
-let closed_node_walk g src =
+let closed_node_walk_array g src =
   require_connected g "Traverse.closed_node_walk";
-  let seen = Array.make (Graph.n g) false in
-  let walk = ref [] in
-  let rec go u =
-    seen.(u) <- true;
-    Array.iteri
-      (fun i (d : Graph.dart) ->
-        if not seen.(d.dst) then begin
-          walk := i :: !walk;
-          go d.dst;
-          walk := d.dst_port :: !walk
-        end)
-      (Graph.darts g u)
-  in
-  go src;
-  List.rev !walk
+  let c = Graph.csr g in
+  let n = c.Csr.n in
+  let off = c.Csr.off and dst = c.Csr.dst and dst_port = c.Csr.dst_port in
+  let seen = Array.make n false in
+  let walk = Array.make (2 * (n - 1)) 0 in
+  let w = ref 0 in
+  let node = Array.make n 0 and cur = Array.make n 0 and ret = Array.make n 0 in
+  let sp = ref 1 in
+  node.(0) <- src;
+  cur.(0) <- 0;
+  ret.(0) <- -1;
+  seen.(src) <- true;
+  while !sp > 0 do
+    let u = node.(!sp - 1) in
+    let p = cur.(!sp - 1) in
+    let a = off.(u) + p in
+    if a = off.(u + 1) then begin
+      decr sp;
+      if !sp > 0 then begin
+        walk.(!w) <- ret.(!sp);
+        incr w
+      end
+    end
+    else begin
+      cur.(!sp - 1) <- p + 1;
+      let v = dst.(a) in
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        walk.(!w) <- p;
+        incr w;
+        node.(!sp) <- v;
+        cur.(!sp) <- 0;
+        ret.(!sp) <- dst_port.(a);
+        incr sp
+      end
+    end
+  done;
+  walk
+
+let closed_node_walk g src = Array.to_list (closed_node_walk_array g src)
 
 (* Walk every dart: at each node, take each untaken port; traversing a port
-   either discovers a new node (recurse) or immediately comes back. Each
+   either discovers a new node (descend) or immediately comes back. Each
    edge is crossed exactly twice, once per direction. *)
-let closed_edge_walk g src =
+let closed_edge_walk_array g src =
   require_connected g "Traverse.closed_edge_walk";
-  let n = Graph.n g in
+  let c = Graph.csr g in
+  let n = c.Csr.n in
+  let off = c.Csr.off
+  and dst = c.Csr.dst
+  and dst_port = c.Csr.dst_port
+  and edge = c.Csr.edge in
   let seen = Array.make n false in
-  let tree_edge = Array.make (Graph.m g) false in
-  let walk = ref [] in
-  let rec go u =
-    seen.(u) <- true;
-    Array.iteri
-      (fun i (d : Graph.dart) ->
-        if not seen.(d.dst) then begin
-          tree_edge.(d.edge) <- true;
-          walk := i :: !walk;
-          go d.dst;
-          walk := d.dst_port :: !walk
-        end
-        else if
-          (* Cross each non-tree edge (and loop) as a single round trip,
-             initiated from the lexicographically smaller dart so it happens
-             exactly once; tree edges already contribute their two steps. *)
-          (not tree_edge.(d.edge)) && (u, i) < (d.dst, d.dst_port)
-        then begin
-          walk := i :: !walk;
-          walk := d.dst_port :: !walk
-        end)
-      (Graph.darts g u)
+  let tree_edge = Array.make c.Csr.m false in
+  let walk = Array.make (2 * c.Csr.m) 0 in
+  let w = ref 0 in
+  let emit p =
+    walk.(!w) <- p;
+    incr w
   in
-  go src;
-  List.rev !walk
+  let node = Array.make n 0 and cur = Array.make n 0 and ret = Array.make n 0 in
+  let sp = ref 1 in
+  node.(0) <- src;
+  cur.(0) <- 0;
+  ret.(0) <- -1;
+  seen.(src) <- true;
+  while !sp > 0 do
+    let u = node.(!sp - 1) in
+    let p = cur.(!sp - 1) in
+    let a = off.(u) + p in
+    if a = off.(u + 1) then begin
+      decr sp;
+      if !sp > 0 then emit ret.(!sp)
+    end
+    else begin
+      cur.(!sp - 1) <- p + 1;
+      let v = dst.(a) in
+      if not seen.(v) then begin
+        seen.(v) <- true;
+        tree_edge.(edge.(a)) <- true;
+        emit p;
+        node.(!sp) <- v;
+        cur.(!sp) <- 0;
+        ret.(!sp) <- dst_port.(a);
+        incr sp
+      end
+      else if
+        (* Cross each non-tree edge (and loop) as a single round trip,
+           initiated from the lexicographically smaller dart so it happens
+           exactly once; tree edges already contribute their two steps. *)
+        (not tree_edge.(edge.(a)))
+        && (u < v || (u = v && p < dst_port.(a)))
+      then begin
+        emit p;
+        emit dst_port.(a)
+      end
+    end
+  done;
+  walk
+
+let closed_edge_walk g src = Array.to_list (closed_edge_walk_array g src)
+
+let step_or_invalid g name u i =
+  if i < 0 || i >= Graph.degree g u then invalid_arg name;
+  let c = Graph.csr g in
+  c.Csr.dst.(c.Csr.off.(u) + i)
 
 let walk_endpoint g src walk =
   List.fold_left
-    (fun u i ->
-      if i < 0 || i >= Graph.degree g u then
-        invalid_arg "Traverse.walk_endpoint: illegal port";
-      (Graph.dart g u i).dst)
+    (fun u i -> step_or_invalid g "Traverse.walk_endpoint: illegal port" u i)
     src walk
 
 let walk_nodes g src walk =
   let rec go u = function
     | [] -> [ u ]
     | i :: tl ->
-        if i < 0 || i >= Graph.degree g u then
-          invalid_arg "Traverse.walk_nodes: illegal port";
-        u :: go (Graph.dart g u i).dst tl
+        u :: go (step_or_invalid g "Traverse.walk_nodes: illegal port" u i) tl
   in
   go src walk

@@ -25,6 +25,13 @@ val closed_edge_walk : Graph.t -> int -> int list
     length [2m]. This is the walk MAP-DRAWING uses.
     @raise Invalid_argument if disconnected. *)
 
+val closed_node_walk_array : Graph.t -> int -> int array
+(** {!closed_node_walk} as a preallocated array of exactly [2(n-1)]
+    ports — the allocation-bounded form hot paths iterate directly. *)
+
+val closed_edge_walk_array : Graph.t -> int -> int array
+(** {!closed_edge_walk} as a preallocated array of exactly [2m] ports. *)
+
 val walk_endpoint : Graph.t -> int -> int list -> int
 (** Follow a port-index walk from a node; returns the final node.
     @raise Invalid_argument on an illegal port. *)

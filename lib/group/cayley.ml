@@ -28,13 +28,25 @@ let build_edges group gens =
 
 let make genset =
   let group = Genset.group genset in
-  let graph = Graph.of_edges ~n:(Group.order group) (build_edges group (Genset.elements genset)) in
+  let n = Group.order group in
+  let graph = Graph.of_edges ~n (build_edges group (Genset.elements genset)) in
   (* The symbol of the port of [u] toward [v] is the generator u⁻¹v. *)
   let labeling =
     Labeling.make graph (fun u i ->
         let d = Graph.dart graph u i in
         Group.mul group (Group.inv group u) d.dst)
   in
+  (* Left translations witness vertex-transitivity; the symmetry layer
+     verifies before trusting ([Qe_symmetry.Transitive]). *)
+  Graph.set_transitivity_witness graph
+    {
+      Graph.w_gens =
+        Array.of_list
+          (List.map
+             (fun s -> Array.init n (fun a -> Group.mul group s a))
+             (Genset.elements genset));
+      w_translation = (fun w -> Array.init n (fun a -> Group.mul group w a));
+    };
   { genset; graph; labeling }
 
 let graph t = t.graph

@@ -87,22 +87,14 @@ let compare_int_arrays (a : int array) (b : int array) =
   go 0
 
 (* Flat arc arrays of a digraph — the common input shape of both
-   kernels (and exactly what the C stub marshals). *)
+   kernels (and exactly what the C stub marshals). Zero-copy: the
+   digraph stores these arrays; both kernels only read them. *)
 let graph_arrays g =
   let n = Cdigraph.n g in
-  let arcs = Cdigraph.arcs g in
-  let m = List.length arcs in
-  let asrc = Array.make (max 1 m) 0 in
-  let adst = Array.make (max 1 m) 0 in
-  let acol = Array.make (max 1 m) 0 in
-  List.iteri
-    (fun i (a : Cdigraph.arc) ->
-      asrc.(i) <- a.src;
-      adst.(i) <- a.dst;
-      acol.(i) <- a.color)
-    arcs;
+  let m = Cdigraph.num_arcs g in
+  let asrc, adst, acol = Cdigraph.arcs_arrays g in
   let kcol = 1 + Array.fold_left max 0 acol in
-  let colors = Array.init n (Cdigraph.node_color g) in
+  let colors = Cdigraph.node_colors_array g in
   (n, m, kcol, colors, asrc, adst, acol)
 
 (* The string form prefixes n, m and kcol so certificates stay

@@ -161,6 +161,14 @@ let recognize ?(max_aut = 50_000) ?max_leaves g =
               in
               let group = Qe_group.Group.of_mul_table ~name:"recovered" table in
               let generators = List.sort compare (Graph.neighbors g 0) in
+              (* the recognized regular subgroup doubles as a
+                 transitivity witness for downstream fast paths *)
+              Graph.set_transitivity_witness g
+                {
+                  Graph.w_gens =
+                    Array.of_list (List.map (fun v -> translations.(v)) generators);
+                  w_translation = (fun w -> translations.(w));
+                };
               Cayley { group; generators; translations })
 
 let is_cayley ?max_aut ?max_leaves g =

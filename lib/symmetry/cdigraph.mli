@@ -11,13 +11,45 @@ type t
 
 type arc = { src : int; dst : int; color : int }
 
+type csr = private {
+  n : int;
+  out_off : int array;  (** length [n+1] *)
+  out_dst : int array;  (** out-neighbors, sorted by (dst, color) per node *)
+  out_col : int array;
+  in_off : int array;
+  in_src : int array;  (** in-neighbors, sorted by (src, color) per node *)
+  in_col : int array;
+}
+(** The sorted flat adjacency every digraph carries from construction —
+    refinement and traversal iterate these arrays directly; there is no
+    per-call rebuild or per-domain cache. *)
+
 val make : n:int -> node_color:(int -> int) -> arc list -> t
 (** @raise Invalid_argument on out-of-range endpoints or negative colors. *)
 
+val make_arrays :
+  n:int -> node_colors:int array -> int array -> int array -> int array -> t
+(** [make_arrays ~n ~node_colors asrc adst acol] is {!make} from flat
+    arrays (src, dst, color per arc, insertion order). Takes ownership of
+    the arrays — callers must not mutate them afterwards. This is the
+    allocation-bounded constructor large embeddings stream into. *)
+
 val n : t -> int
 val node_color : t -> int -> int
+
+val node_colors_array : t -> int array
+(** The node-color array itself (not a copy) — read-only by convention. *)
+
+val csr : t -> csr
+(** O(1), no copy. *)
+
 val arcs : t -> arc list
-(** All arcs, in insertion order. *)
+(** All arcs, in insertion order. Allocates — compat shim; hot paths use
+    {!csr} or {!arcs_arrays}. *)
+
+val arcs_arrays : t -> int array * int array * int array
+(** [(asrc, adst, acol)] in insertion order, zero-copy — the shape both
+    canonicalization kernels consume. Read-only by convention. *)
 
 val out_arcs : t -> int -> (int * int) list
 (** [(dst, color)] pairs, sorted. *)

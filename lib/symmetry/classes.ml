@@ -1,10 +1,19 @@
 module Bicolored = Qe_graph.Bicolored
 module Graph = Qe_graph.Graph
 
+(* Classes as flat arrays: members of class [i] occupy
+   [members.(off.(i) .. off.(i+1)-1)], ascending. Certificates are
+   materialized per class — eagerly on the slow path (the order needs
+   them), on demand on the fast path (a verified-transitive uniform
+   instance has exactly one class and usually nobody asks). *)
 type t = {
-  ordered : (string * int list) list; (* certificate, members; black first *)
+  off : int array;
+  members : int array;
   node_class : int array;
   num_black : int;
+  certs : string option array;
+  cert_of : int -> string;
+  fast : bool;
 }
 
 let surrounding_certificate ?max_leaves b u =
@@ -12,6 +21,99 @@ let surrounding_certificate ?max_leaves b u =
 
 let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 let gcd_all = List.fold_left gcd 0
+
+(* The classes are the orbits of the color-preserving automorphisms
+   (equivalently: nodes with isomorphic surroundings — Lemma 3.1's first
+   claim, cross-checked in the test suite). One automorphism run finds
+   the orbits; one surrounding certificate per orbit representative then
+   yields the order [≺] — far cheaper than one canonical labeling per
+   node. *)
+let compute_slow ?max_leaves b =
+  let n = Graph.n (Bicolored.graph b) in
+  let reps = Aut.orbits ?max_leaves (Cdigraph.of_bicolored b) in
+  (* dense class ids in first-appearance order (single pass; the orbit
+     representative is the smallest member, so it is its own witness) *)
+  let rep_class = Array.make n (-1) in
+  let k = ref 0 in
+  for u = 0 to n - 1 do
+    if rep_class.(reps.(u)) < 0 then begin
+      rep_class.(reps.(u)) <- !k;
+      incr k
+    end
+  done;
+  let k = !k in
+  let rep_node = Array.make k 0 in
+  for u = n - 1 downto 0 do
+    rep_node.(rep_class.(reps.(u))) <- reps.(u)
+  done;
+  let cert = Array.init k (fun c -> surrounding_certificate ?max_leaves b (rep_node.(c))) in
+  (* order: black classes by certificate, then white classes by
+     certificate (a class is uniformly colored: surroundings embed node
+     colors, so its representative's color decides) *)
+  let black = Array.init k (fun c -> Bicolored.is_black b rep_node.(c)) in
+  let order = Array.init k Fun.id in
+  Array.sort
+    (fun a bb ->
+      if black.(a) <> black.(bb) then compare black.(bb) black.(a)
+      else String.compare cert.(a) cert.(bb))
+    order;
+  let pos = Array.make k 0 in
+  Array.iteri (fun i c -> pos.(c) <- i) order;
+  let num_black = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 black in
+  (* counting sort of members into class order, ascending node ids *)
+  let off = Array.make (k + 1) 0 in
+  for u = 0 to n - 1 do
+    let i = pos.(rep_class.(reps.(u))) in
+    off.(i + 1) <- off.(i + 1) + 1
+  done;
+  for i = 0 to k - 1 do
+    off.(i + 1) <- off.(i + 1) + off.(i)
+  done;
+  let members = Array.make n 0 in
+  let node_class = Array.make n (-1) in
+  let next = Array.sub off 0 k in
+  for u = 0 to n - 1 do
+    let i = pos.(rep_class.(reps.(u))) in
+    members.(next.(i)) <- u;
+    next.(i) <- next.(i) + 1;
+    node_class.(u) <- i
+  done;
+  let certs = Array.make k None in
+  Array.iteri (fun c i -> certs.(i) <- Some cert.(c)) pos;
+  {
+    off;
+    members;
+    node_class;
+    num_black;
+    certs;
+    cert_of = (fun i -> surrounding_certificate ?max_leaves b (members.(off.(i))));
+    fast = false;
+  }
+
+(* Fast path: a verified vertex-transitivity certificate plus the
+   uniform all-black placement pins the answer with no search at all —
+   one orbit of color-preserving automorphisms means exactly one class
+   containing every node. For any non-uniform placement translations
+   only refine the true classes (the full group may pair nodes no
+   translation does), so we fall through to the search. *)
+let compute_fast ?max_leaves b =
+  let g = Bicolored.graph b in
+  let n = Graph.n g in
+  if Bicolored.num_blacks b <> n then None
+  else
+    match Transitive.certified g with
+    | None -> None
+    | Some _ ->
+        Some
+          {
+            off = [| 0; n |];
+            members = Array.init n Fun.id;
+            node_class = Array.make n 0;
+            num_black = 1;
+            certs = [| None |];
+            cert_of = (fun _ -> surrounding_certificate ?max_leaves b 0);
+            fast = true;
+          }
 
 let compute ?max_leaves b =
   let t_start =
@@ -22,54 +124,49 @@ let compute ?max_leaves b =
         Qe_obs.Clock.now_ns ()
     | None -> 0
   in
-  (* The classes are the orbits of the color-preserving automorphisms
-     (equivalently: nodes with isomorphic surroundings — Lemma 3.1's first
-     claim, cross-checked in the test suite). One automorphism run finds
-     the orbits; one surrounding certificate per orbit representative then
-     yields the order [≺] — far cheaper than one canonical labeling per
-     node. *)
-  let orbits = Aut.orbit_partition ?max_leaves (Cdigraph.of_bicolored b) in
-  let all =
-    List.map
-      (fun members ->
-        match members with
-        | u :: _ -> (surrounding_certificate ?max_leaves b u, members)
-        | [] -> assert false)
-      orbits
+  let result, path =
+    match compute_fast ?max_leaves b with
+    | Some t -> (t, "classes.fast_path")
+    | None -> (compute_slow ?max_leaves b, "classes.slow_path")
   in
-  (* A class is uniformly black or white: surroundings embed node colors. *)
-  let is_black_class (_, members) =
-    match members with
-    | u :: _ -> Bicolored.is_black b u
-    | [] -> assert false
-  in
-  let by_cert (c1, _) (c2, _) = String.compare c1 c2 in
-  let blacks = List.sort by_cert (List.filter is_black_class all) in
-  let whites =
-    List.sort by_cert (List.filter (fun c -> not (is_black_class c)) all)
-  in
-  let ordered = blacks @ whites in
-  let node_class = Array.make (Graph.n (Bicolored.graph b)) (-1) in
-  List.iteri
-    (fun i (_, members) -> List.iter (fun u -> node_class.(u) <- i) members)
-    ordered;
   (if t_start <> 0 then
      match Qe_obs.Sink.ambient () with
      | Some s ->
+         Qe_obs.Metrics.incr
+           (Qe_obs.Metrics.counter s.Qe_obs.Sink.metrics path);
          Qe_obs.Metrics.observe
            (Qe_obs.Metrics.latency s.Qe_obs.Sink.metrics
               "classes.compute_latency")
            (Qe_obs.Clock.now_ns () - t_start)
      | None -> ());
-  { ordered; node_class; num_black = List.length blacks }
+  result
 
-let classes t = List.map snd t.ordered
+let num_classes t = Array.length t.off - 1
 let num_black_classes t = t.num_black
-let num_classes t = List.length t.ordered
-let sizes t = List.map (fun (_, members) -> List.length members) t.ordered
-let gcd_sizes t = gcd_all (sizes t)
+let used_fast_path t = t.fast
 let class_of_node t u = t.node_class.(u)
-let certificate_of_class t i = fst (List.nth t.ordered i)
+let representative t i = t.members.(t.off.(i))
+let size t i = t.off.(i + 1) - t.off.(i)
+
+let members_of_class t i =
+  let rec go j =
+    if j >= t.off.(i + 1) then [] else t.members.(j) :: go (j + 1)
+  in
+  go t.off.(i)
+
+let classes t = List.init (num_classes t) (members_of_class t)
+let sizes t = List.init (num_classes t) (size t)
+let gcd_sizes t = gcd_all (sizes t)
+
+let certificate_of_class t i =
+  if i < 0 || i >= num_classes t then
+    invalid_arg "Classes.certificate_of_class: no such class";
+  match t.certs.(i) with
+  | Some c -> c
+  | None ->
+      let c = t.cert_of i in
+      t.certs.(i) <- Some c;
+      c
 
 let equivalent ?max_leaves b u v =
   String.equal
@@ -79,10 +176,9 @@ let equivalent ?max_leaves b u v =
 let pp ppf t =
   Format.fprintf ppf "@[<v>%d classes (%d black):@," (num_classes t)
     t.num_black;
-  List.iteri
-    (fun i (_, members) ->
-      Format.fprintf ppf "  C%d (%s): {%s}@," (i + 1)
-        (if i < t.num_black then "black" else "white")
-        (String.concat "," (List.map string_of_int members)))
-    t.ordered;
+  for i = 0 to num_classes t - 1 do
+    Format.fprintf ppf "  C%d (%s): {%s}@," (i + 1)
+      (if i < t.num_black then "black" else "white")
+      (String.concat "," (List.map string_of_int (members_of_class t i)))
+  done;
   Format.fprintf ppf "@]"

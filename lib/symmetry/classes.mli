@@ -11,6 +11,20 @@
 type t
 
 val compute : ?max_leaves:int -> Qe_graph.Bicolored.t -> t
+(** Computes the ordered classes. When the instance's graph carries a
+    {e verified} transitivity certificate ({!Transitive.certified}) and
+    the placement is uniform (every node black), the answer is pinned
+    without any automorphism search — one orbit means exactly one class
+    — and the search is skipped entirely; every other instance takes the
+    full search. Both paths produce identical results (differentially
+    tested on every Cayley family). *)
+
+val compute_slow : ?max_leaves:int -> Qe_graph.Bicolored.t -> t
+(** The full automorphism search unconditionally — the differential
+    baseline for the fast path. *)
+
+val used_fast_path : t -> bool
+(** Did {!compute} take the transitivity fast path? *)
 
 val classes : t -> int list list
 (** [C_1 .. C_k]: the classes containing home-bases first (sorted by [≺]),
@@ -30,6 +44,13 @@ val gcd_sizes : t -> int
 
 val class_of_node : t -> int -> int
 (** Index (0-based) into {!classes} of the class containing a node. *)
+
+val representative : t -> int -> int
+(** [representative t i] is the smallest member of class [i] — total on
+    [0 .. num_classes - 1] (classes are never empty by construction). *)
+
+val size : t -> int -> int
+(** [size t i] is [|C_{i+1}|], without building any list. *)
 
 val certificate_of_class : t -> int -> string
 (** The surrounding certificate shared by the class members. *)

@@ -37,18 +37,16 @@ let minimum_base ?placement l =
   let arcs = ref [] in
   for c = 0 to k - 1 do
     let v = rep.(c) in
-    Array.iteri
-      (fun i (d : Graph.dart) ->
+    Graph.iter_darts g v (fun i dst dst_port _edge ->
         let near = Labeling.symbol l v i in
-        let far = Labeling.symbol l d.dst d.dst_port in
+        let far = Labeling.symbol l dst dst_port in
         arcs :=
           {
             Cdigraph.src = c;
-            dst = projection.(d.dst);
+            dst = projection.(dst);
             color = pair_encode near far;
           }
           :: !arcs)
-      (Graph.darts g v)
   done;
   let base =
     Cdigraph.make ~n:k ~node_color:(fun c -> node_color rep.(c)) !arcs
@@ -60,11 +58,11 @@ let is_covering_map ?placement l t =
   let n = Graph.n g in
   let node_color = node_color_of ?placement () in
   let sorted_star v =
-    Array.to_list (Graph.darts g v)
-    |> List.mapi (fun i (d : Graph.dart) ->
-           let near = Labeling.symbol l v i in
-           let far = Labeling.symbol l d.dst d.dst_port in
-           (t.projection.(d.dst), pair_encode near far))
+    Graph.fold_darts_at g v ~init:[]
+      ~f:(fun acc i dst dst_port _edge ->
+        let near = Labeling.symbol l v i in
+        let far = Labeling.symbol l dst dst_port in
+        (t.projection.(dst), pair_encode near far) :: acc)
     |> List.sort compare
   in
   let ok = ref true in

@@ -1,62 +1,9 @@
 type partition = int array
 
-(* ------------------------------------------------------------------ *)
-(* CSR adjacency, built once per graph and cached (graphs are
-   immutable, so physical equality is a sound cache key; Canon calls
-   fixpoint thousands of times on the same graph). *)
-
-type csr = {
-  n : int;
-  out_off : int array;  (* length n+1; arcs leaving u at out_off.(u).. *)
-  out_dst : int array;
-  out_col : int array;
-  in_off : int array;
-  in_src : int array;
-  in_col : int array;
-}
-
-let build_csr g =
-  let n = Cdigraph.n g in
-  let out_off = Array.make (n + 1) 0 and in_off = Array.make (n + 1) 0 in
-  for u = 0 to n - 1 do
-    out_off.(u + 1) <- out_off.(u) + List.length (Cdigraph.out_arcs g u);
-    in_off.(u + 1) <- in_off.(u) + List.length (Cdigraph.in_arcs g u)
-  done;
-  let out_dst = Array.make (max 1 out_off.(n)) 0 in
-  let out_col = Array.make (max 1 out_off.(n)) 0 in
-  let in_src = Array.make (max 1 in_off.(n)) 0 in
-  let in_col = Array.make (max 1 in_off.(n)) 0 in
-  for u = 0 to n - 1 do
-    let i = ref out_off.(u) in
-    List.iter
-      (fun (v, c) ->
-        out_dst.(!i) <- v;
-        out_col.(!i) <- c;
-        incr i)
-      (Cdigraph.out_arcs g u);
-    let j = ref in_off.(u) in
-    List.iter
-      (fun (v, c) ->
-        in_src.(!j) <- v;
-        in_col.(!j) <- c;
-        incr j)
-      (Cdigraph.in_arcs g u)
-  done;
-  { n; out_off; out_dst; out_col; in_off; in_src; in_col }
-
-(* Domain-local: the single-slot cache is pure memoization, but letting
-   pool domains race on one shared slot would publish half-initialized
-   arrays across domains. Each domain keeps (and rebuilds) its own. *)
-let csr_cache : (Cdigraph.t * csr) option Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> None)
-
-let csr_of g =
-  match Domain.DLS.get csr_cache with
-  | Some (g0, c) when g0 == g -> c
-  | _ ->
-      let c = build_csr g in
-      Domain.DLS.set csr_cache (Some (g, c));
-      c
+(* The CSR adjacency now lives inside Cdigraph itself — built once at
+   construction, shared by every domain (immutable after construction,
+   so no per-domain cache or rebuild is needed). *)
+let csr_of = Cdigraph.csr
 
 (* ------------------------------------------------------------------ *)
 (* Small int utilities (monomorphic — no polymorphic compare anywhere
@@ -201,10 +148,20 @@ let num_cells p =
    fragments; otherwise all fragments but the largest are queued
    (counts against the parent are the sum of counts against the
    fragments, so the last fragment's splits are implied). *)
-let refine_worklist csr (p0 : partition) : partition =
-  let n = csr.n in
+let refine_worklist (csr : Cdigraph.csr) (p0 : partition) : partition =
+  let {
+    Cdigraph.n;
+    out_off;
+    out_dst;
+    out_col;
+    in_off;
+    in_src;
+    in_col;
+  } =
+    csr
+  in
   let ws = Domain.DLS.get ws_key in
-  ensure_ws ws n (Array.length csr.out_dst + Array.length csr.in_src);
+  ensure_ws ws n (Array.length out_dst + Array.length in_src);
   let elements = ws.elements
   and cell_of = ws.cell_of
   and cell_len = ws.cell_len
@@ -355,8 +312,8 @@ let refine_worklist csr (p0 : partition) : partition =
     let nb = ref 0 in
     for j = s to s + len - 1 do
       let v = elements.(j) in
-      for a = csr.in_off.(v) to csr.in_off.(v + 1) - 1 do
-        arcbuf.(!nb) <- (csr.in_col.(a) * n) + csr.in_src.(a);
+      for a = in_off.(v) to in_off.(v + 1) - 1 do
+        arcbuf.(!nb) <- (in_col.(a) * n) + in_src.(a);
         incr nb
       done
     done;
@@ -365,8 +322,8 @@ let refine_worklist csr (p0 : partition) : partition =
     nb := 0;
     for j = s to s + len - 1 do
       let v = elements.(j) in
-      for a = csr.out_off.(v) to csr.out_off.(v + 1) - 1 do
-        arcbuf.(!nb) <- (csr.out_col.(a) * n) + csr.out_dst.(a);
+      for a = out_off.(v) to out_off.(v + 1) - 1 do
+        arcbuf.(!nb) <- (out_col.(a) * n) + out_dst.(a);
         incr nb
       done
     done;
@@ -437,26 +394,35 @@ let initial g =
    reference round for View depth queries and as the differential
    baseline for the worklist refiner. *)
 let step g p =
-  let csr = csr_of g in
-  let n = csr.n in
+  let {
+    Cdigraph.n;
+    out_off;
+    out_dst;
+    out_col;
+    in_off;
+    in_src;
+    in_col;
+  } =
+    csr_of g
+  in
   let k = num_cells p in
   (* signature of u: [| p.(u); sorted out keys; -1; sorted in keys |]
      where key = color * k + p.(target); -1 separates so that a
      prefix-shorter out-list sorts first, as the old list compare did *)
   let sigs =
     Array.init n (fun u ->
-        let od = csr.out_off.(u + 1) - csr.out_off.(u) in
-        let id = csr.in_off.(u + 1) - csr.in_off.(u) in
+        let od = out_off.(u + 1) - out_off.(u) in
+        let id = in_off.(u + 1) - in_off.(u) in
         let s = Array.make (od + id + 2) (-1) in
         s.(0) <- p.(u);
         for a = 0 to od - 1 do
-          let b = csr.out_off.(u) + a in
-          s.(1 + a) <- (csr.out_col.(b) * k) + p.(csr.out_dst.(b))
+          let b = out_off.(u) + a in
+          s.(1 + a) <- (out_col.(b) * k) + p.(out_dst.(b))
         done;
         sort_sub s 1 (1 + od);
         for a = 0 to id - 1 do
-          let b = csr.in_off.(u) + a in
-          s.(2 + od + a) <- (csr.in_col.(b) * k) + p.(csr.in_src.(b))
+          let b = in_off.(u) + a in
+          s.(2 + od + a) <- (in_col.(b) * k) + p.(in_src.(b))
         done;
         sort_sub s (2 + od) (2 + od + id);
         s)

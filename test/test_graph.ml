@@ -263,6 +263,63 @@ let prop_degree_sum =
       let g = Families.random_connected ~seed ~n ~extra_edges:(n / 2) in
       degree_sum g = 2 * Graph.m g)
 
+(* the CSR view and the allocation-free iterators must describe exactly
+   the dart structure the record-based accessors expose *)
+let test_csr_iterators () =
+  List.iter
+    (fun g ->
+      let c = Graph.csr g in
+      Alcotest.(check int) "csr n" (Graph.n g) c.Qe_graph.Csr.n;
+      Alcotest.(check int) "csr m" (Graph.m g) c.Qe_graph.Csr.m;
+      for u = 0 to Graph.n g - 1 do
+        let from_record =
+          Array.to_list (Graph.darts g u)
+          |> List.mapi (fun i (d : Graph.dart) ->
+                 (i, d.dst, d.dst_port, d.edge))
+        in
+        let from_iter = ref [] in
+        Graph.iter_darts g u (fun p dst dst_port edge ->
+            from_iter := (p, dst, dst_port, edge) :: !from_iter);
+        Alcotest.(check bool) "iter_darts = darts" true
+          (List.rev !from_iter = from_record);
+        let from_fold =
+          Graph.fold_darts_at g u ~init:[]
+            ~f:(fun acc p dst dst_port edge -> (p, dst, dst_port, edge) :: acc)
+        in
+        Alcotest.(check bool) "fold_darts_at = darts" true
+          (List.rev from_fold = from_record);
+        let from_csr =
+          Qe_graph.Csr.fold_darts c u ~init:[]
+            ~f:(fun acc p dst dst_port edge -> (p, dst, dst_port, edge) :: acc)
+        in
+        Alcotest.(check bool) "Csr.fold_darts = darts" true
+          (List.rev from_csr = from_record)
+      done)
+    [
+      Families.cycle 8;
+      Families.petersen ();
+      Graph.of_edges ~n:2 [ (0, 1); (0, 1); (1, 1) ];
+      fst (Families.figure2c ());
+    ]
+
+let test_walk_arrays () =
+  List.iter
+    (fun g ->
+      for s = 0 to min 2 (Graph.n g - 1) do
+        Alcotest.(check (list int)) "node walk array = list"
+          (Traverse.closed_node_walk g s)
+          (Array.to_list (Traverse.closed_node_walk_array g s));
+        Alcotest.(check (list int)) "edge walk array = list"
+          (Traverse.closed_edge_walk g s)
+          (Array.to_list (Traverse.closed_edge_walk_array g s))
+      done)
+    [
+      Families.cycle 8;
+      Families.petersen ();
+      Families.binary_tree 3;
+      Graph.of_edges ~n:3 [ (0, 1); (1, 2); (1, 1); (0, 2); (0, 1) ];
+    ]
+
 let prop_walk_endpoint_closed =
   QCheck.Test.make ~name:"closed walks are closed from any start" ~count:40
     QCheck.(pair (int_bound 1000) (int_range 2 20))
@@ -391,6 +448,8 @@ let () =
           Alcotest.test_case "invalid input" `Quick test_of_edges_invalid;
           Alcotest.test_case "handshake across families" `Quick
             test_handshake_families;
+          Alcotest.test_case "csr iterators" `Quick test_csr_iterators;
+          Alcotest.test_case "walk arrays" `Quick test_walk_arrays;
           QCheck_alcotest.to_alcotest prop_degree_sum;
         ] );
       ( "families",

@@ -38,6 +38,34 @@ let random_permutation st n =
   done;
   p
 
+(* --- Cdigraph CSR coherence --- *)
+
+(* the flat CSR the refiner consumes and the list accessors must
+   describe the same sorted adjacency, both directions *)
+let prop_cdigraph_csr_coherent =
+  QCheck.Test.make ~name:"cdigraph csr = out_arcs/in_arcs" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| 0xc5a; seed |] in
+      let g = random_cdigraph st in
+      let c = Cdigraph.csr g in
+      let n = Cdigraph.n g in
+      let slice off endpoint col u =
+        List.init
+          (off.(u + 1) - off.(u))
+          (fun i -> (endpoint.(off.(u) + i), col.(off.(u) + i)))
+      in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        if
+          slice c.Cdigraph.out_off c.Cdigraph.out_dst c.Cdigraph.out_col u
+          <> Cdigraph.out_arcs g u
+          || slice c.Cdigraph.in_off c.Cdigraph.in_src c.Cdigraph.in_col u
+             <> Cdigraph.in_arcs g u
+        then ok := false
+      done;
+      !ok)
+
 (* --- Canonical labeling vs brute force --- *)
 
 let test_canon_invariant_under_relabeling () =
@@ -623,6 +651,7 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_step_matches_naive;
           QCheck_alcotest.to_alcotest prop_fixpoint_matches_naive;
+          QCheck_alcotest.to_alcotest prop_cdigraph_csr_coherent;
         ] );
       ( "aut",
         [
